@@ -1,0 +1,23 @@
+# Canonical workflows for the MVCom reproduction.
+
+.PHONY: install test bench figures examples clean
+
+install:
+	pip install -e . || python setup.py develop   # offline envs lack wheel
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper figure + CSV/JSON artifacts under results/.
+figures:
+	python -m repro.harness.cli all
+
+examples:
+	for script in examples/*.py; do echo "== $$script"; python $$script; done
+
+clean:
+	rm -rf results/*.csv results/*.json .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

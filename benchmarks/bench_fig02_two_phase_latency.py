@@ -1,0 +1,54 @@
+"""Fig. 2 -- two-phase latency measured on the Elastico substrate.
+
+(a) mean formation / consensus latency vs network size: formation dominates
+    and grows roughly linearly;
+(b) CDFs of both latency terms at a fixed size: random within a band.
+"""
+
+import numpy as np
+
+from repro.harness.experiments import run_fig02_two_phase_latency
+from repro.harness.report import render_table, write_csv
+
+
+def test_fig02_two_phase_latency(benchmark, bench_results):
+    result = benchmark.pedantic(run_fig02_two_phase_latency, rounds=1, iterations=1)
+    bench_results["fig02"] = result
+
+    rows = result["rows"]
+    print()
+    print(render_table(rows, title="Fig. 2(a): two-phase latency vs network size"))
+    print(f"linear fit: slope={result['linear_fit']['slope']:.3f} s/node, "
+          f"R^2={result['linear_fit']['r_squared']:.3f}")
+    write_csv("fig02_latency_vs_size.csv", rows)
+
+    cdf = result["cdf"]
+    cdf_rows = [
+        {"which": "formation", "p50": np.percentile(cdf["formation"][0], 50),
+         "p90": np.percentile(cdf["formation"][0], 90)},
+        {"which": "consensus", "p50": np.percentile(cdf["consensus"][0], 50),
+         "p90": np.percentile(cdf["consensus"][0], 90)},
+    ]
+    print(render_table(cdf_rows, title=f"Fig. 2(b): latency CDFs at {cdf['num_nodes']} nodes"))
+    write_csv(
+        "fig02_cdf.csv",
+        [{"which": "formation", "latency_s": v, "cdf": f}
+         for v, f in zip(*cdf["formation"])]
+        + [{"which": "consensus", "latency_s": v, "cdf": f}
+           for v, f in zip(*cdf["consensus"])],
+    )
+
+    # Shape assertions (paper claims):
+    # 1. formation latency consumes the large portion,
+    for row in rows:
+        assert row["mean_formation_s"] > 3 * row["mean_consensus_s"]
+    # 2. formation grows ~linearly with network size,
+    assert result["linear_fit"]["slope"] > 0
+    assert result["linear_fit"]["r_squared"] > 0.6
+    # 3. consensus latency stays flat in network size,
+    consensus = [row["mean_consensus_s"] for row in rows]
+    assert max(consensus) < 2.5 * min(consensus)
+    # 4. both CDFs are spread over a band (not degenerate).
+    for which in ("formation", "consensus"):
+        values = np.asarray(cdf[which][0])
+        assert values.std() > 0.05 * values.mean()

@@ -1,0 +1,38 @@
+"""Fig. 8 -- SE convergence under Gamma in {1, 5, 10, 25}.
+
+Paper claims: larger Gamma converges faster per iteration and to a higher
+utility; the benefit saturates once Gamma exceeds ~10.
+"""
+
+import numpy as np
+
+from repro.harness.experiments import run_fig08_parallel_threads
+from repro.harness.report import traces_table, traces_to_rows, write_csv
+from repro.harness.textplot import line_plot
+
+
+def test_fig08_gamma_sweep(benchmark):
+    result = benchmark.pedantic(run_fig08_parallel_threads, rounds=1, iterations=1)
+
+    traces = result["traces"]
+    print()
+    print(line_plot(traces, title=f"Fig. 8: SE convergence, {result['instance']}"))
+    print(traces_table(traces, title="Fig. 8 trace checkpoints"))
+    write_csv("fig08_traces.csv", traces_to_rows(traces))
+
+    converged = result["converged"]
+    gammas = [1, 5, 10, 25]
+    final = [converged[f"Gamma={g}"] for g in gammas]
+
+    # 1. Converged utility is (weakly) monotone in Gamma.
+    for lower, higher in zip(final, final[1:]):
+        assert higher >= 0.995 * lower
+    # 2. Gamma=25 strictly beats Gamma=1.
+    assert final[-1] > final[0]
+    # 3. Faster early convergence with more executors: utility at the
+    #    1/8-mark is higher for Gamma=25 than for Gamma=1.
+    early = len(traces["Gamma=1"]) // 8
+    assert traces["Gamma=25"][early] >= traces["Gamma=1"][early]
+    # 4. Saturation: the 10->25 gain does not exceed the 1->10 gain by more
+    #    than run-to-run noise (0.1% of the utility scale).
+    assert (final[3] - final[2]) <= (final[2] - final[0]) + 0.001 * abs(final[0])

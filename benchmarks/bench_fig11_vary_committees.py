@@ -1,0 +1,42 @@
+"""Fig. 11 -- convergence while varying |I_j| in {500, 800, 1000}.
+
+Paper claims: SE converges above the baselines (~20-30% in the paper's
+runs); the SE-vs-WOA gap persists as |I_j| grows; DP's utility overtakes
+SA's at large |I_j|; WOA has the lowest converged utility.  Our faithful
+baselines close most of the paper's SA gap (documented in EXPERIMENTS.md);
+the ordering SE >= SA > DP > WOA and the DP-vs-SA trend remain.
+"""
+
+from repro.harness.experiments import run_fig11_vary_committees
+from repro.harness.report import render_table, traces_table, traces_to_rows, write_csv
+
+
+def test_fig11_vary_committees(benchmark):
+    result = benchmark.pedantic(run_fig11_vary_committees, rounds=1, iterations=1)
+
+    print()
+    summary_rows = []
+    for panel, content in result["panels"].items():
+        print(traces_table(content["traces"], title=f"Fig. 11 {panel}"))
+        write_csv(f"fig11_{panel.replace('|', '').replace('=', '')}_traces.csv",
+                  traces_to_rows(content["traces"]))
+        for name, value in content["converged"].items():
+            summary_rows.append({"panel": panel, "algorithm": name,
+                                 "converged_utility": round(value, 1)})
+    print(render_table(summary_rows, title="Fig. 11 converged utilities"))
+    write_csv("fig11_converged.csv", summary_rows)
+
+    for panel, content in result["panels"].items():
+        converged = content["converged"]
+        # 1. SE finishes at/above every baseline (small statistical slack).
+        assert converged["SE"] >= 0.99 * max(converged.values()), panel
+        # 2. WOA is the weakest algorithm at every size.
+        assert converged["WOA"] <= min(converged["SE"], converged["SA"]), panel
+
+    # 3. DP gains on SA as |I_j| grows (the paper's crossover direction).
+    sizes = sorted(result["panels"], key=lambda p: int(p.split("=")[1]))
+    dp_over_sa = [
+        result["panels"][p]["converged"]["DP"] / result["panels"][p]["converged"]["SA"]
+        for p in sizes
+    ]
+    assert dp_over_sa[-1] >= dp_over_sa[0] - 0.02

@@ -1,0 +1,35 @@
+"""Fig. 12 -- convergence while varying alpha in {1.5, 5, 10}.
+
+Paper claims: increasing alpha makes the converged utilities of every
+algorithm grow; SE stays on top across the sweep.
+"""
+
+from repro.harness.experiments import run_fig12_vary_alpha
+from repro.harness.report import render_table, traces_table, traces_to_rows, write_csv
+
+
+def test_fig12_vary_alpha(benchmark):
+    result = benchmark.pedantic(run_fig12_vary_alpha, rounds=1, iterations=1)
+
+    print()
+    summary_rows = []
+    for panel, content in result["panels"].items():
+        print(traces_table(content["traces"], title=f"Fig. 12 {panel} (|Ij|=50, C=50K, Gamma=25)"))
+        write_csv(f"fig12_{panel.replace('=', '')}_traces.csv",
+                  traces_to_rows(content["traces"]))
+        for name, value in content["converged"].items():
+            summary_rows.append({"panel": panel, "algorithm": name,
+                                 "converged_utility": round(value, 1)})
+    print(render_table(summary_rows, title="Fig. 12 converged utilities"))
+    write_csv("fig12_converged.csv", summary_rows)
+
+    panels = result["panels"]
+    alphas = sorted(panels, key=lambda p: float(p.split("=")[1]))
+    # 1. For every algorithm, utility grows with alpha.
+    for algorithm in ("SE", "SA", "DP", "WOA"):
+        series = [panels[p]["converged"][algorithm] for p in alphas]
+        assert series == sorted(series), (algorithm, series)
+    # 2. SE tops (or ties) every panel.
+    for panel in alphas:
+        converged = panels[panel]["converged"]
+        assert converged["SE"] >= 0.99 * max(converged.values()), panel

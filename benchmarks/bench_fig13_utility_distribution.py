@@ -1,0 +1,40 @@
+"""Fig. 13 -- distribution of converged utilities across trials.
+
+Paper claims: across repeated trials (box plots in the paper), utilities
+grow with alpha for every algorithm and SE's distribution sits at/above the
+baselines' with comparable spread.
+"""
+
+from repro.harness.experiments import run_fig13_utility_distribution
+from repro.harness.report import render_table, write_csv
+
+
+def test_fig13_utility_distribution(benchmark):
+    result = benchmark.pedantic(run_fig13_utility_distribution, rounds=1, iterations=1)
+
+    print()
+    rows = []
+    for panel, algorithms in result["panels"].items():
+        for name, stats in algorithms.items():
+            rows.append({
+                "panel": panel, "algorithm": name,
+                "mean": stats["mean"], "std": stats["std"],
+                "min": stats["min"], "median": stats["median"], "max": stats["max"],
+            })
+    print(render_table(rows, title=f"Fig. 13: converged-utility distribution ({result['trials']} trials)"))
+    write_csv("fig13_distribution.csv", rows)
+
+    panels = result["panels"]
+    alphas = sorted(panels, key=lambda p: float(p.split("=")[1]))
+    # 1. Mean utility grows with alpha for every algorithm.
+    for algorithm in ("SE", "SA", "DP", "WOA"):
+        means = [panels[p][algorithm]["mean"] for p in alphas]
+        assert means == sorted(means), (algorithm, means)
+    # 2. SE's mean matches or beats every baseline in every panel.
+    for panel in alphas:
+        se_mean = panels[panel]["SE"]["mean"]
+        for name, stats in panels[panel].items():
+            assert se_mean >= 0.99 * stats["mean"], (panel, name)
+    # 3. SE's worst trial beats WOA's mean (consistently strong, not lucky).
+    for panel in alphas:
+        assert panels[panel]["SE"]["min"] >= 0.95 * panels[panel]["WOA"]["mean"]

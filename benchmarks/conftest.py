@@ -1,0 +1,22 @@
+"""Shared helpers for the figure benches.
+
+Every bench regenerates one paper figure's series via the harness, asserts
+the figure's *qualitative shape* (who wins, directions of trends), prints
+the series as an aligned table, and writes CSVs under ``results/``.
+Absolute values come from our simulator, not the authors' testbed, so no
+bench asserts a specific number from the paper.
+"""
+
+import pytest
+
+
+def emit(capsys_or_none, text: str) -> None:
+    """Print bench output so ``pytest benchmarks/ -s`` shows the figures."""
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def bench_results():
+    """Session-scoped cache so multi-test benches reuse one expensive run."""
+    return {}

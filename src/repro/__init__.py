@@ -1,0 +1,61 @@
+"""MVCom reproduction: scheduling Most Valuable Committees for the
+large-scale sharded blockchain (Huang et al., ICDCS 2021).
+
+Public API quick tour
+---------------------
+>>> from repro import WorkloadConfig, generate_epoch_workload
+>>> from repro import SEConfig, StochasticExploration
+>>> workload = generate_epoch_workload(WorkloadConfig(num_committees=50, capacity=50_000))
+>>> result = StochasticExploration(SEConfig(num_threads=5, max_iterations=500)).solve(
+...     workload.instance)
+>>> result.best_weight <= workload.instance.capacity
+True
+
+Subpackages
+-----------
+``repro.core``       the MVCom problem and the SE algorithm (the paper's contribution)
+``repro.chain``      the Elastico-style sharded-blockchain substrate
+``repro.data``       synthetic Bitcoin trace + workload generation
+``repro.baselines``  SA / DP / WOA / greedy / random schedulers
+``repro.metrics``    utility, Valuable Degree, trace statistics
+``repro.harness``    per-figure experiment runners and reporting
+``repro.sim``        discrete-event simulation engine and RNG streams
+"""
+
+from repro.core import (
+    CommitteeEvent,
+    DynamicSchedule,
+    EpochInstance,
+    EventKind,
+    MVComConfig,
+    SEConfig,
+    SEResult,
+    Solution,
+    StochasticExploration,
+    brute_force_optimum,
+    build_instance,
+)
+from repro.data import EpochWorkload, WorkloadConfig, generate_epoch_workload
+from repro.metrics import summarize_schedule, valuable_degree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CommitteeEvent",
+    "DynamicSchedule",
+    "EpochInstance",
+    "EventKind",
+    "MVComConfig",
+    "SEConfig",
+    "SEResult",
+    "Solution",
+    "StochasticExploration",
+    "brute_force_optimum",
+    "build_instance",
+    "EpochWorkload",
+    "WorkloadConfig",
+    "generate_epoch_workload",
+    "summarize_schedule",
+    "valuable_degree",
+    "__version__",
+]

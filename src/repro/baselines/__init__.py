@@ -1,0 +1,29 @@
+"""Baseline committee schedulers (Section VI-B).
+
+The paper compares SE against three baselines, all implemented here from
+scratch behind one interface (:class:`repro.baselines.base.Scheduler`):
+
+* **SA** -- Simulated Annealing [22],
+* **DP** -- Dynamic Programming over a (scaled) knapsack table [23, 24],
+* **WOA** -- the binary Whale Optimization Algorithm [25, 26].
+
+Two extra reference points, greedy density packing and uniform random
+search, are included for the ablation benches.
+"""
+
+from repro.baselines.base import ScheduleResult, Scheduler
+from repro.baselines.annealing import SimulatedAnnealingScheduler
+from repro.baselines.knapsack_dp import DynamicProgrammingScheduler
+from repro.baselines.whale import WhaleOptimizationScheduler
+from repro.baselines.greedy import GreedyDensityScheduler
+from repro.baselines.random_search import RandomSearchScheduler
+
+__all__ = [
+    "ScheduleResult",
+    "Scheduler",
+    "SimulatedAnnealingScheduler",
+    "DynamicProgrammingScheduler",
+    "WhaleOptimizationScheduler",
+    "GreedyDensityScheduler",
+    "RandomSearchScheduler",
+]

@@ -1,0 +1,23 @@
+"""Greedy density baseline (reference point, not in the paper's trio).
+
+Packs shards by decreasing value density under the capacity, then pads to
+the cardinality floor.  One-shot and deterministic: a useful sanity anchor
+for tests (SE must never lose to it by much) and for the ablation benches.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import ScheduleResult, Scheduler, greedy_feasible_start
+from repro.core.problem import EpochInstance
+
+
+class GreedyDensityScheduler(Scheduler):
+    """Value-density greedy packing."""
+
+    name = "Greedy"
+
+    def solve(self, instance: EpochInstance, budget_iterations: int = 1) -> ScheduleResult:
+        """One-shot density-greedy packing (budget sets the trace length)."""
+        solution = greedy_feasible_start(instance)
+        trace = [solution.utility] * max(budget_iterations, 1)
+        return ScheduleResult.from_solution(self.name, solution, 1, trace)

@@ -1,0 +1,29 @@
+"""Uniform random search baseline (reference point, not in the paper's trio).
+
+Repeatedly samples random feasible selections and keeps the best.  This is
+the floor any guided search must clear; the benches use it to show how much
+of SE's advantage comes from guidance rather than sheer sampling volume.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import ScheduleResult, Scheduler, random_feasible_start
+from repro.core.problem import EpochInstance
+
+
+class RandomSearchScheduler(Scheduler):
+    """Best-of-N uniform feasible sampling."""
+
+    name = "Random"
+
+    def solve(self, instance: EpochInstance, budget_iterations: int) -> ScheduleResult:
+        """Best of ``budget_iterations`` uniform feasible samples."""
+        rng = self._rng(instance)
+        best = random_feasible_start(instance, rng)
+        trace = [best.utility]
+        for _ in range(max(budget_iterations - 1, 0)):
+            candidate = random_feasible_start(instance, rng)
+            if candidate.utility > best.utility:
+                best = candidate
+            trace.append(best.utility)
+        return ScheduleResult.from_solution(self.name, best, budget_iterations, trace)

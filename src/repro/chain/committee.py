@@ -1,0 +1,123 @@
+"""Committees: the unit of sharded consensus.
+
+A :class:`Committee` groups the nodes elected into one PoW bucket, tracks
+its two-phase latency components, and runs its intra-committee PBFT round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.chain.blocks import ShardBlock
+from repro.chain.node import Node
+from repro.chain.params import ChainParams
+from repro.chain.pbft import run_pbft_round
+
+
+@dataclass
+class Committee:
+    """One member committee of an epoch."""
+
+    committee_id: int
+    epoch: int
+    members: List[Node]
+    formation_latency: float = 0.0
+    consensus_latency: Optional[float] = None
+    shard_tx_count: int = 0
+    shard_block: Optional[ShardBlock] = None
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError("a committee needs members")
+        if self.formation_latency < 0:
+            raise ValueError("formation_latency must be non-negative")
+
+    @property
+    def size(self) -> int:
+        """Number of member nodes."""
+        return len(self.members)
+
+    @property
+    def leader(self) -> Node:
+        """The committee's PBFT primary seat (view 0)."""
+        return self.members[0]
+
+    @property
+    def honest_count(self) -> int:
+        """Members that follow the protocol."""
+        return sum(1 for node in self.members if node.honest)
+
+    @property
+    def byzantine_count(self) -> int:
+        """Members that stay silent (crash-equivalent)."""
+        return self.size - self.honest_count
+
+    @property
+    def can_reach_quorum(self) -> bool:
+        """PBFT liveness: at most f = (size-1)//3 silent members."""
+        return self.byzantine_count <= (self.size - 1) // 3
+
+    def run_intra_consensus(
+        self,
+        params: ChainParams,
+        rng: np.random.Generator,
+        verify_mean_s: Optional[float] = None,
+    ) -> Optional[ShardBlock]:
+        """Run stage 3 (PBFT) and produce this committee's shard block.
+
+        ``verify_mean_s`` defaults to a value calibrated so the expected
+        total consensus latency matches ``params.pbft_mean_total_s``: the
+        round spends roughly two verify delays (prepare + commit votes) and
+        four propagation hops on the critical path.
+        """
+        if not self.can_reach_quorum:
+            return None  # this committee stalls and never submits
+        if verify_mean_s is None:
+            verify_mean_s = calibrated_verify_mean(params)
+        outcome = run_pbft_round(
+            members=self.members,
+            rng=rng,
+            network_params=params.network,
+            verify_mean_s=verify_mean_s,
+            round_tag=f"epoch{self.epoch}-committee{self.committee_id}",
+        )
+        if not outcome.committed:
+            return None
+        self.consensus_latency = outcome.latency
+        self.shard_block = ShardBlock(
+            committee_id=self.committee_id,
+            epoch=self.epoch,
+            tx_count=self.shard_tx_count,
+            formation_latency=self.formation_latency,
+            consensus_latency=self.consensus_latency,
+        )
+        return self.shard_block
+
+
+def calibrated_verify_mean(params: ChainParams) -> float:
+    """Per-replica verification mean that hits ``pbft_mean_total_s``.
+
+    The primary's critical path is approximately: pre-prepare hop, replica
+    verify, prepare quorum hop, replica verify, commit quorum hop -- i.e.
+    two verify delays plus three message quorum waits.  Each quorum wait is
+    roughly the ~67th-percentile network delay; we budget the network part
+    as ``3 * 1.6 * base_delay`` and split the remainder across the two
+    verify delays.
+    """
+    network_budget = 3 * 1.6 * params.network.base_delay
+    verify_budget = max(params.pbft_mean_total_s - network_budget, 1e-3)
+    return verify_budget / 2.0
+
+
+def assign_shard_workload(
+    committees: Sequence[Committee],
+    tx_counts: Sequence[int],
+) -> None:
+    """Attach per-committee shard TX counts (from :mod:`repro.data`)."""
+    if len(tx_counts) < len(committees):
+        raise ValueError("need one tx count per committee")
+    for committee, tx_count in zip(committees, tx_counts):
+        committee.shard_tx_count = int(tx_count)

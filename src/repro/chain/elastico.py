@@ -1,0 +1,196 @@
+"""The 5-stage Elastico epoch orchestrator (Section I).
+
+One :meth:`ElasticoSimulation.run_epoch` call executes:
+
+1. **Committee formation** -- the PoW election race (:mod:`repro.chain.pow`);
+2. **Overlay configuration** -- serial identity registration + membership
+   gossip (:mod:`repro.chain.overlay`); formation latency =
+   committee-fill time + overlay time, which is what Fig. 2 measures;
+3. **Intra-committee consensus** -- a PBFT round per committee
+   (:mod:`repro.chain.pbft`);
+4. **Final consensus** -- the final committee schedules shards (MVCom or a
+   baseline) and seals the final block (:mod:`repro.chain.final`);
+5. **Epoch randomness refreshing** -- commit-reveal seed for the next epoch
+   (:mod:`repro.chain.randomness`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.chain.blocks import RootChain, ShardBlock
+from repro.chain.committee import Committee, assign_shard_workload
+from repro.chain.final import FinalCommittee, FinalConsensusResult, SchedulerFn, take_everything
+from repro.chain.node import Node, spawn_nodes
+from repro.chain.overlay import run_overlay_configuration
+from repro.chain.params import ChainParams
+from repro.chain.pow import committee_fill_times, committee_members, run_pow_election
+from repro.chain.randomness import GENESIS_RANDOMNESS, refresh_randomness
+from repro.core.problem import MVComConfig
+from repro.sim.rng import RandomStreams
+
+
+@dataclass
+class EpochOutcome:
+    """Everything one epoch produced."""
+
+    epoch: int
+    committees: List[Committee]
+    shard_blocks: List[ShardBlock]
+    final: Optional[FinalConsensusResult]
+    randomness: str
+    formation_latencies: Dict[int, float] = field(default_factory=dict)
+    consensus_latencies: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def two_phase_latencies(self) -> List[float]:
+        """Each submitted shard's formation + consensus latency."""
+        return [block.two_phase_latency for block in self.shard_blocks]
+
+
+class ElasticoSimulation:
+    """A multi-epoch Elastico deployment with a pluggable final-committee scheduler."""
+
+    def __init__(
+        self,
+        params: ChainParams,
+        mvcom_config: Optional[MVComConfig] = None,
+        scheduler: Optional[SchedulerFn] = None,
+    ) -> None:
+        self.params = params
+        self.mvcom_config = mvcom_config or MVComConfig(capacity=1000 * max(params.num_committees, 1))
+        self.scheduler = scheduler or take_everything
+        self.streams = RandomStreams(params.seed)
+        self.nodes: List[Node] = spawn_nodes(
+            count=params.num_nodes,
+            byzantine_fraction=params.byzantine_fraction,
+            rng=self.streams.get("nodes"),
+        )
+        self.chain = RootChain()
+        self.randomness = GENESIS_RANDOMNESS
+        self.epoch = 0
+
+    # ------------------------------------------------------------------ #
+    def form_committees(self, rng: np.random.Generator) -> List[Committee]:
+        """Stages 1-2: PoW election + overlay configuration."""
+        params = self.params
+        solutions = run_pow_election(
+            nodes=self.nodes,
+            num_committees=params.num_committees,
+            mean_solve_s=params.pow_mean_solve_s,
+            epoch_randomness=self.randomness,
+            rng=rng,
+        )
+        fills = committee_fill_times(solutions, params.num_committees, params.committee_size)
+        members = committee_members(solutions, params.num_committees, params.committee_size)
+        overlay = run_overlay_configuration(
+            solutions=solutions,
+            members=members,
+            registration_rate=params.identity_registration_rate,
+            rng=rng,
+        )
+        nodes_by_id = {node.node_id: node for node in self.nodes}
+        committees = []
+        for committee_id, node_ids in sorted(members.items()):
+            formation = max(fills[committee_id], overlay.committee_overlay_time[committee_id])
+            committees.append(
+                Committee(
+                    committee_id=committee_id,
+                    epoch=self.epoch,
+                    members=[nodes_by_id[node_id] for node_id in node_ids],
+                    formation_latency=float(formation),
+                )
+            )
+        return committees
+
+    def run_epoch(
+        self,
+        shard_tx_counts: Optional[Sequence[int]] = None,
+        mempool=None,
+    ) -> EpochOutcome:
+        """Execute all five stages once and advance the chain.
+
+        When a :class:`repro.chain.mempool.Mempool` is supplied, shard
+        workloads come from Elastico's hash-prefix TX partition and the
+        transactions packed into the final block are removed from the pool;
+        otherwise ``shard_tx_counts`` (or a synthetic default) is used.
+        """
+        rng = self.streams.fork(f"epoch-{self.epoch}").get("epoch")
+        committees = self.form_committees(rng)
+        if not committees:
+            raise RuntimeError("no committee filled this epoch; raise num_nodes or lower committee_size")
+
+        shard_assignment = None
+        if mempool is not None:
+            from repro.chain.mempool import assign_to_committees
+
+            shard_assignment = assign_to_committees(mempool, self.params.num_committees)
+            shard_tx_counts = [len(shard_assignment[c.committee_id]) for c in committees]
+        elif shard_tx_counts is None:
+            # Default synthetic workload: ~1.3 blocks of ~1088 TXs per committee.
+            shard_tx_counts = rng.poisson(1400, size=len(committees))
+        assign_shard_workload(committees, shard_tx_counts)
+
+        # Stage 3: every member committee (all but the final one) runs PBFT.
+        member_committees = committees[:-1] if len(committees) > 1 else committees
+        final_seat = committees[-1]
+        shard_blocks = []
+        for committee in member_committees:
+            block = committee.run_intra_consensus(self.params, rng)
+            if block is not None:
+                shard_blocks.append(block)
+
+        # Stage 4: final consensus with the configured scheduler.
+        final_committee = FinalCommittee(
+            committee=final_seat,
+            params=self.params,
+            mvcom_config=self.mvcom_config,
+            scheduler=self.scheduler,
+        )
+        final_result = (
+            final_committee.run(shard_blocks, self.chain, self.randomness, rng)
+            if shard_blocks
+            else None
+        )
+
+        # Commit: permitted shards' transactions leave the mempool (the
+        # final committee first re-checks cross-shard disjointness).
+        if mempool is not None and final_result is not None and shard_assignment is not None:
+            from repro.chain.mempool import verify_disjoint
+
+            permitted_ids = [
+                final_result.instance.shard_ids[i]
+                for i in np.flatnonzero(final_result.permitted_mask)
+            ]
+            permitted_shards = [shard_assignment[cid] for cid in permitted_ids]
+            offender = verify_disjoint(permitted_shards)
+            if offender is not None:
+                raise RuntimeError(f"double-committed transaction {offender}")
+            for shard in permitted_shards:
+                mempool.remove_committed(shard)
+
+        # Stage 5: refresh the epoch randomness.
+        self.randomness = refresh_randomness(
+            epoch=self.epoch,
+            member_ids=[node.node_id for node in final_seat.members],
+            rng=rng,
+        )
+
+        outcome = EpochOutcome(
+            epoch=self.epoch,
+            committees=committees,
+            shard_blocks=shard_blocks,
+            final=final_result,
+            randomness=self.randomness,
+            formation_latencies={c.committee_id: c.formation_latency for c in committees},
+            consensus_latencies={
+                c.committee_id: c.consensus_latency
+                for c in committees
+                if c.consensus_latency is not None
+            },
+        )
+        self.epoch += 1
+        return outcome

@@ -1,0 +1,124 @@
+"""Stage 4: final consensus, where the MVCom scheduler plugs in.
+
+The final committee collects shard blocks as member committees finish
+their two-phase pipeline, stops listening at the :math:`N_{max}` fraction
+(Alg. 1 line 29), asks a *scheduler* which shards to permit, and then runs
+its own PBFT round to seal the final block.  The scheduler is pluggable:
+the paper's SE algorithm, any baseline, or the trivial "take everything"
+policy (the Elastico default MVCom improves upon).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.chain.blocks import FinalBlock, RootChain, ShardBlock
+from repro.chain.committee import Committee, calibrated_verify_mean
+from repro.chain.params import ChainParams
+from repro.chain.pbft import run_pbft_round
+from repro.core.problem import EpochInstance, MVComConfig, build_instance
+
+#: A scheduler maps an epoch instance to a boolean selection mask.
+SchedulerFn = Callable[[EpochInstance], np.ndarray]
+
+
+def take_everything(instance: EpochInstance) -> np.ndarray:
+    """The unscheduled Elastico behaviour: permit every arrived shard that fits.
+
+    Shards are admitted in arrival (latency) order until the capacity is
+    exhausted -- exactly what a scheduler-less final committee would do.
+    """
+    order = np.argsort(instance.latencies, kind="stable")
+    mask = np.zeros(instance.num_shards, dtype=bool)
+    weight = 0
+    for position in order:
+        tx = int(instance.tx_counts[position])
+        if weight + tx <= instance.capacity:
+            mask[position] = True
+            weight += tx
+    return mask
+
+
+@dataclass
+class FinalConsensusResult:
+    """Everything stage 4 produced for one epoch."""
+
+    block: FinalBlock
+    instance: EpochInstance
+    permitted_mask: np.ndarray
+    ddl: float
+    final_pbft_latency: float
+    permitted_txs: int
+    permitted_committees: int
+
+
+class FinalCommittee:
+    """The epoch's leader committee (C5 in Fig. 1)."""
+
+    def __init__(
+        self,
+        committee: Committee,
+        params: ChainParams,
+        mvcom_config: MVComConfig,
+        scheduler: SchedulerFn,
+    ) -> None:
+        self.committee = committee
+        self.params = params
+        self.mvcom_config = mvcom_config
+        self.scheduler = scheduler
+
+    def arrival_window(self, shard_blocks: Sequence[ShardBlock]) -> List[ShardBlock]:
+        """Apply the N_max listening cutoff (Alg. 1 line 29)."""
+        count = max(1, int(np.floor(self.mvcom_config.n_max_fraction * len(shard_blocks))))
+        return sorted(shard_blocks, key=lambda block: block.two_phase_latency)[:count]
+
+    def run(
+        self,
+        shard_blocks: Sequence[ShardBlock],
+        chain: RootChain,
+        randomness: str,
+        rng: np.random.Generator,
+    ) -> Optional[FinalConsensusResult]:
+        """Execute stage 4: schedule shards, run final PBFT, append the block."""
+        if not shard_blocks:
+            return None
+        arrived = self.arrival_window(shard_blocks)
+        instance = build_instance(arrived, self.mvcom_config)
+        mask = np.asarray(self.scheduler(instance), dtype=bool)
+        if mask.shape != (instance.num_shards,):
+            raise ValueError("scheduler returned a mask of the wrong length")
+        if not instance.is_capacity_feasible(mask):
+            raise ValueError("scheduler violated the final-block capacity")
+
+        outcome = run_pbft_round(
+            members=self.committee.members,
+            rng=rng,
+            network_params=self.params.network,
+            verify_mean_s=calibrated_verify_mean(self.params),
+            round_tag=f"epoch{self.committee.epoch}-final",
+        )
+        if not outcome.committed:
+            return None
+
+        permitted = [arrived[i] for i in np.flatnonzero(mask)]
+        block = FinalBlock(
+            epoch=chain.height,
+            parent_hash=chain.head_hash,
+            permitted_shards=tuple(sorted(shard.block_hash for shard in permitted)),
+            total_txs=int(sum(shard.tx_count for shard in permitted)),
+            ddl=instance.ddl,
+            randomness=randomness,
+        )
+        chain.append(block)
+        return FinalConsensusResult(
+            block=block,
+            instance=instance,
+            permitted_mask=mask,
+            ddl=instance.ddl,
+            final_pbft_latency=outcome.latency,
+            permitted_txs=block.total_txs,
+            permitted_committees=int(mask.sum()),
+        )

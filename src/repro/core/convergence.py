@@ -1,0 +1,56 @@
+"""Convergence detection for iterative schedulers.
+
+"In practice, a converged solution can be received by specifying an
+empirical number of running iterations." (Section IV-D)  We implement the
+practical version: the run is *converged* when the best utility seen so far
+has not improved by more than ``tolerance`` for ``window`` consecutive
+iterations, or when the iteration budget runs out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ConvergenceDetector:
+    """Sliding-window plateau detector.
+
+    Parameters
+    ----------
+    window:
+        Number of consecutive non-improving iterations that count as
+        convergence.
+    tolerance:
+        Minimum utility improvement that resets the window.
+    """
+
+    window: int = 300
+    tolerance: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+        if self.tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+        self.best = float("-inf")
+        self.stale_iterations = 0
+
+    def update(self, utility: float) -> bool:
+        """Record one iteration's best utility; return True once converged."""
+        if utility > self.best + self.tolerance:
+            self.best = utility
+            self.stale_iterations = 0
+        else:
+            self.stale_iterations += 1
+        return self.converged
+
+    @property
+    def converged(self) -> bool:
+        """True once the stale-iteration window filled up."""
+        return self.stale_iterations >= self.window
+
+    def reset(self) -> None:
+        """Restart detection (used after dynamic join/leave events)."""
+        self.best = float("-inf")
+        self.stale_iterations = 0

@@ -1,0 +1,132 @@
+"""Deadline (DDL) policies for the final committee.
+
+Section III: "this paper is not trying to tell how to set such the DDL...
+In practice, the DDL can be set to the moment when a predefined percentage
+of committees submit their shards."  The reproduction's default is exactly
+that (the :math:`N_{max}` arrival window), but the choice is a real design
+axis, so it is factored out here:
+
+* :class:`PercentileArrival` -- wait for a fraction of committees (the
+  paper's suggestion; ``fraction = N_max`` reproduces the default);
+* :class:`FixedTimeout` -- a wall-clock deadline after epoch start;
+* :class:`BudgetedAge` -- adaptive: close the window when the *marginal*
+  committee would add more age to the already-arrived shards than its own
+  transactions are worth (a greedy stopping rule driven by eq. (1)).
+
+Each policy takes the latency-sorted arrival sequence and returns which
+committees arrive plus the resulting DDL; the ablation bench compares the
+epoch utility each policy enables.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class DdlDecision:
+    """Outcome of a DDL policy on one epoch's submissions."""
+
+    arrived_indices: Tuple[int, ...]  # indices into the latency-sorted input
+    ddl: float
+
+    def __post_init__(self) -> None:
+        if not self.arrived_indices:
+            raise ValueError("a DDL policy must admit at least one committee")
+        if self.ddl < 0:
+            raise ValueError("ddl must be non-negative")
+
+
+class DdlPolicy(abc.ABC):
+    """Strategy deciding when the final committee stops listening."""
+
+    @abc.abstractmethod
+    def decide(self, latencies: Sequence[float], tx_counts: Sequence[int]) -> DdlDecision:
+        """``latencies``/``tx_counts`` are parallel arrays, any order."""
+
+    @staticmethod
+    def _sorted_order(latencies: Sequence[float]) -> List[int]:
+        return sorted(range(len(latencies)), key=lambda index: latencies[index])
+
+    @staticmethod
+    def _validate(latencies: Sequence[float], tx_counts: Sequence[int]) -> None:
+        if len(latencies) != len(tx_counts):
+            raise ValueError("latencies and tx_counts must be parallel")
+        if not latencies:
+            raise ValueError("no submissions")
+
+
+@dataclass(frozen=True)
+class PercentileArrival(DdlPolicy):
+    """Stop once ``fraction`` of the committees have submitted (the paper's rule)."""
+
+    fraction: float = 0.8
+
+    def __post_init__(self) -> None:
+        if not 0 < self.fraction <= 1:
+            raise ValueError("fraction must lie in (0, 1]")
+
+    def decide(self, latencies: Sequence[float], tx_counts: Sequence[int]) -> DdlDecision:
+        """Apply this policy to one epoch's submissions."""
+        self._validate(latencies, tx_counts)
+        order = self._sorted_order(latencies)
+        count = max(1, int(math.floor(self.fraction * len(order))))
+        arrived = tuple(order[:count])
+        return DdlDecision(arrived_indices=arrived, ddl=float(latencies[arrived[-1]]))
+
+
+@dataclass(frozen=True)
+class FixedTimeout(DdlPolicy):
+    """Stop at an absolute deadline after epoch start."""
+
+    timeout_s: float
+
+    def __post_init__(self) -> None:
+        if self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+
+    def decide(self, latencies: Sequence[float], tx_counts: Sequence[int]) -> DdlDecision:
+        """Apply this policy to one epoch's submissions."""
+        self._validate(latencies, tx_counts)
+        order = self._sorted_order(latencies)
+        arrived = tuple(index for index in order if latencies[index] <= self.timeout_s)
+        if not arrived:
+            arrived = (order[0],)  # wait for at least the fastest committee
+        return DdlDecision(arrived_indices=arrived, ddl=max(self.timeout_s, float(latencies[arrived[-1]])))
+
+
+@dataclass(frozen=True)
+class BudgetedAge(DdlPolicy):
+    """Adaptive greedy stopping driven by eq. (1)'s trade-off.
+
+    Admitting the next committee ``k`` moves the DDL from the current
+    slowest arrival to :math:`l_k`, adding :math:`(l_k - t)\\cdot n_{arrived}`
+    seconds of cumulative age across everyone already waiting, in exchange
+    for :math:`\\alpha\\,s_k` units of throughput utility.  Stop when the
+    marginal age cost exceeds the marginal throughput gain.
+    """
+
+    alpha: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+
+    def decide(self, latencies: Sequence[float], tx_counts: Sequence[int]) -> DdlDecision:
+        """Apply this policy to one epoch's submissions."""
+        self._validate(latencies, tx_counts)
+        order = self._sorted_order(latencies)
+        arrived = [order[0]]
+        ddl = float(latencies[order[0]])
+        for index in order[1:]:
+            wait = float(latencies[index]) - ddl
+            age_cost = wait * len(arrived)
+            throughput_gain = self.alpha * float(tx_counts[index])
+            if age_cost > throughput_gain:
+                break
+            arrived.append(index)
+            ddl = float(latencies[index])
+        return DdlDecision(arrived_indices=tuple(arrived), ddl=ddl)

@@ -1,0 +1,140 @@
+"""Dynamic committee events (Section IV's online handling, Section V failures).
+
+The online SE algorithm "can handle the dynamic joining and leaving events
+of member committees" (Alg. 1, lines 9-12).  We model those events as an
+iteration-stamped schedule consumed by
+:class:`repro.core.se.StochasticExploration`:
+
+* ``JOIN`` -- a new committee's shard arrives at the final committee (used
+  for the consecutive-joining experiments of Figs. 9b and 14, and for the
+  *recovery* half of Fig. 9a);
+* ``LEAVE`` -- a committee fails or goes offline (the failure half of
+  Fig. 9a and the Section V analysis); its shard and every solution that
+  contains it leave the feasible space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+
+class EventKind(Enum):
+    """Committee event type: JOIN (arrival/recovery) or LEAVE (failure)."""
+    JOIN = "join"
+    LEAVE = "leave"
+
+
+@dataclass(frozen=True)
+class CommitteeEvent:
+    """One join/leave event, stamped with the SE iteration at which it fires.
+
+    ``tx_count`` and ``latency`` are required for JOIN (the arriving shard's
+    features) and ignored for LEAVE.
+    """
+
+    iteration: int
+    kind: EventKind
+    shard_id: int
+    tx_count: Optional[int] = None
+    latency: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.iteration < 0:
+            raise ValueError("event iteration must be non-negative")
+        if self.kind is EventKind.JOIN:
+            if self.tx_count is None or self.latency is None:
+                raise ValueError("JOIN events need tx_count and latency")
+            if self.tx_count < 0 or self.latency < 0:
+                raise ValueError("JOIN features must be non-negative")
+
+
+@dataclass
+class DynamicSchedule:
+    """An ordered multiset of committee events."""
+
+    events: List[CommitteeEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.events = sorted(self.events, key=lambda event: event.iteration)
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[CommitteeEvent]:
+        return iter(self.events)
+
+    def reset(self) -> None:
+        """Rewind the schedule so a new run replays every event."""
+        self._cursor = 0
+
+    def due(self, iteration: int) -> List[CommitteeEvent]:
+        """Pop every event scheduled at or before ``iteration``."""
+        due_events = []
+        while self._cursor < len(self.events) and self.events[self._cursor].iteration <= iteration:
+            due_events.append(self.events[self._cursor])
+            self._cursor += 1
+        return due_events
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every event has been popped."""
+        return self._cursor >= len(self.events)
+
+    @property
+    def next_iteration(self) -> Optional[int]:
+        """Iteration of the next pending event (None when exhausted)."""
+        if self.exhausted:
+            return None
+        return self.events[self._cursor].iteration
+
+
+def fail_and_recover_schedule(
+    shard_id: int,
+    tx_count: int,
+    latency: float,
+    fail_at: int,
+    recover_at: int,
+) -> DynamicSchedule:
+    """Fig. 9a's scenario: one committee fails, then rejoins later."""
+    if recover_at <= fail_at:
+        raise ValueError("recovery must happen after the failure")
+    return DynamicSchedule(
+        events=[
+            CommitteeEvent(iteration=fail_at, kind=EventKind.LEAVE, shard_id=shard_id),
+            CommitteeEvent(
+                iteration=recover_at,
+                kind=EventKind.JOIN,
+                shard_id=shard_id,
+                tx_count=tx_count,
+                latency=latency,
+            ),
+        ]
+    )
+
+
+def consecutive_join_schedule(
+    arrivals: Sequence[Tuple[int, int, float]],
+    start_iteration: int,
+    spacing: int,
+) -> DynamicSchedule:
+    """Figs. 9b/14's scenario: committees keep arriving, ``spacing`` iterations apart.
+
+    ``arrivals`` is a sequence of ``(shard_id, tx_count, latency)`` tuples in
+    arrival order.
+    """
+    if spacing <= 0:
+        raise ValueError("spacing must be positive")
+    events = [
+        CommitteeEvent(
+            iteration=start_iteration + rank * spacing,
+            kind=EventKind.JOIN,
+            shard_id=shard_id,
+            tx_count=tx_count,
+            latency=latency,
+        )
+        for rank, (shard_id, tx_count, latency) in enumerate(arrivals)
+    ]
+    return DynamicSchedule(events=events)

@@ -1,0 +1,169 @@
+"""Committee-failure analysis (Section V, Lemma 4, Theorem 2).
+
+When a committee fails, every feasible solution containing it becomes
+invalid; the solution space :math:`\\mathcal F` (size :math:`2^{|I_j|}`)
+shrinks to the trimmed space :math:`\\mathcal G` (size
+:math:`2^{|I_j|-1}`).  The paper shows:
+
+* **Lemma 4** -- the total-variation distance between the trimmed chain's
+  stationary distribution :math:`q^*` and the instantaneous distribution
+  :math:`\\tilde q` at the failure moment is at most :math:`1/2`, with the
+  i.i.d.-utilities argument giving exactly :math:`|\\mathcal F \\setminus
+  \\mathcal G| / |\\mathcal F| = 1/2` in the large-space limit.
+* **Theorem 2** -- the utility perturbation
+  :math:`\\|q^* u^T - \\tilde q u^T\\|` is at most
+  :math:`\\max_{g \\in \\mathcal G} U_g`.
+
+This module computes both sides exactly by enumeration on small instances,
+so the bounds can be *tested*, and provides the closed-form combinatorics
+for any size.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.logsumexp import stationary_distribution
+from repro.core.problem import EpochInstance
+
+
+@dataclass(frozen=True)
+class SpaceSizes:
+    """Solution-space combinatorics before/after one committee fails."""
+
+    full: int      # |F| = 2^N
+    trimmed: int   # |G| = 2^(N-1)
+    removed: int   # |F \ G| = 2^(N-1)
+
+    @property
+    def removed_fraction(self) -> float:
+        """Lemma 4's |F\\G| / |F|, which equals 1/2 for a single failure."""
+        return self.removed / self.full
+
+
+def space_sizes(num_committees: int) -> SpaceSizes:
+    """Closed-form sizes used throughout Section V."""
+    if num_committees < 1:
+        raise ValueError("need at least one committee")
+    full = 2**num_committees
+    trimmed = 2 ** (num_committees - 1)
+    return SpaceSizes(full=full, trimmed=trimmed, removed=full - trimmed)
+
+
+def tv_distance_bound() -> float:
+    """Lemma 4's universal bound."""
+    return 0.5
+
+
+def _enumerate_space(instance: EpochInstance) -> Tuple[List[Tuple[int, ...]], np.ndarray]:
+    """All subsets of the instance's shards with their utilities.
+
+    Section V works over the unconstrained power set (the trimming argument
+    is purely combinatorial), so no capacity filter is applied here.
+    """
+    if instance.num_shards > 16:
+        raise ValueError("exact failure analysis is enumeration-based; use <= 16 shards")
+    states = []
+    utilities = []
+    for size in range(instance.num_shards + 1):
+        for combo in itertools.combinations(range(instance.num_shards), size):
+            states.append(combo)
+            utilities.append(float(instance.values[list(combo)].sum()))
+    return states, np.asarray(utilities)
+
+
+@dataclass(frozen=True)
+class FailureAnalysis:
+    """Exact Lemma 4 / Theorem 2 quantities for one failing committee.
+
+    Two related distances are reported because the paper's proof conflates
+    them (its eq. 18 equates :math:`\\frac12\\sum|q^*-\\tilde q|` with
+    :math:`\\sum_{g^o}(q^*-\\tilde q)`, which only coincide for two proper
+    distributions, and :math:`\\tilde q` is a sub-distribution):
+
+    * ``tv_distance`` -- the literal :math:`\\frac12\\sum_{g\\in G}|q^*_g -
+      \\tilde q_g|`.  Because :math:`q^* \\ge \\tilde q` pointwise, this is
+      :math:`\\frac12(1 - \\sum \\tilde q) \\le \\frac12` **unconditionally**
+      -- Lemma 4's bound holds rigorously under this reading.
+    * ``stranded_mass`` -- :math:`1 - \\sum_{g\\in G}\\tilde q_g`, the Gibbs
+      mass the failure strands on removed solutions.  This is the quantity
+      the paper's law-of-large-numbers argument evaluates to
+      :math:`|\\mathcal F\\setminus\\mathcal G| / |\\mathcal F| = 1/2`; it
+      approaches exactly 1/2 as :math:`\\beta \\to 0` but can exceed 1/2
+      when :math:`\\beta` is sharp and the failed committee belongs to the
+      top solutions (the i.i.d./LLN step of the proof is a small-β
+      approximation -- see EXPERIMENTS.md).
+    """
+
+    tv_distance: float            # (1/2) sum |q* - q~| over survivors
+    stranded_mass: float          # 1 - sum(q~) = Gibbs mass on removed states
+    tv_bound: float               # 1/2
+    utility_perturbation: float   # |q* u^T - q~ u^T|
+    perturbation_bound: float     # max_g U_g (Theorem 2)
+    trimmed_best_utility: float   # \tilde U_max
+    trimmed_worst_utility: float  # \tilde U_min
+
+    @property
+    def tv_within_bound(self) -> bool:
+        """Lemma 4's check: TV distance at most 1/2."""
+        return self.tv_distance <= self.tv_bound + 1e-12
+
+    @property
+    def perturbation_within_bound(self) -> bool:
+        """Theorem 2's check: perturbation at most max_g U_g."""
+        return self.utility_perturbation <= self.perturbation_bound + 1e-9
+
+
+def analyze_failure(instance: EpochInstance, failed_position: int, beta: float) -> FailureAnalysis:
+    """Exact perturbation analysis when the committee at ``failed_position`` fails.
+
+    Follows the proof of Lemma 4:
+
+    * ``q*`` is the Gibbs distribution restricted to (and renormalised over)
+      the surviving states ``G`` (eq. 15);
+    * ``q~`` is the original Gibbs distribution's mass on ``G`` **without**
+      renormalising (eq. 16) plus, implicitly, the mass stranded on removed
+      states.  Following the paper, the comparison sums over ``g in G``.
+    """
+    if not 0 <= failed_position < instance.num_shards:
+        raise ValueError("failed_position out of range")
+    states, utilities = _enumerate_space(instance)
+    full_distribution = stationary_distribution(beta, utilities)
+
+    survivor_mask = np.array(
+        [failed_position not in state for state in states], dtype=bool
+    )
+    survivor_utilities = utilities[survivor_mask]
+
+    trimmed_stationary = stationary_distribution(beta, survivor_utilities)  # eq. 15
+    instant = full_distribution[survivor_mask]                              # eq. 16
+
+    tv = 0.5 * float(np.abs(trimmed_stationary - instant).sum())
+    perturbation = abs(
+        float(trimmed_stationary @ survivor_utilities) - float(instant @ survivor_utilities)
+    )
+    trimmed_best = float(survivor_utilities.max())
+    return FailureAnalysis(
+        tv_distance=tv,
+        stranded_mass=float(1.0 - instant.sum()),
+        tv_bound=tv_distance_bound(),
+        utility_perturbation=perturbation,
+        perturbation_bound=max(trimmed_best, 0.0),
+        trimmed_best_utility=trimmed_best,
+        trimmed_worst_utility=float(survivor_utilities.min()),
+    )
+
+
+def trimmed_mixing_parameters(num_committees: int) -> dict:
+    """Remark 3's updated Theorem 1 parameters after one failure."""
+    sizes = space_sizes(num_committees)
+    return {
+        "eta": sizes.trimmed,                 # 2^(N-1) surviving states
+        "num_shards": num_committees - 1,     # chain now walks N-1 committees
+        "log2_eta": float(math.log2(sizes.trimmed)),
+    }

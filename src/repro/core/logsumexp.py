@@ -1,0 +1,70 @@
+"""Log-sum-exp (Markov/Gibbs) approximation of MVCom (Section IV-B).
+
+The MVCom(β) problem assigns each feasible solution ``f`` a time share
+``p_f`` and maximises :math:`\\sum_f p_f U_f + \\frac 1\\beta H(p)`.  Its KKT
+optimum is the Gibbs distribution
+
+.. math:: p^*_f = \\frac{\\exp(\\beta U_f)}{\\sum_{f'} \\exp(\\beta U_{f'})}
+
+(eq. 6), and the resulting optimality loss is at most
+:math:`\\frac 1\\beta \\log |\\mathcal F|` (Remark 1).  Everything here is
+computed in log-space so it stays finite for the paper's utility scales
+(:math:`\\beta U` in the hundreds of thousands).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def log_softmax(beta: float, utilities: Sequence[float]) -> np.ndarray:
+    """Log of the Gibbs weights ``beta * U_f`` normalised stably."""
+    if beta <= 0:
+        raise ValueError("beta must be positive")
+    scores = beta * np.asarray(utilities, dtype=np.float64)
+    if scores.size == 0:
+        raise ValueError("need at least one solution")
+    shifted = scores - scores.max()
+    return shifted - np.log(np.exp(shifted).sum())
+
+
+def stationary_distribution(beta: float, utilities: Sequence[float]) -> np.ndarray:
+    """The optimal time-share distribution :math:`p^*` of eq. (6)."""
+    return np.exp(log_softmax(beta, utilities))
+
+
+def expected_utility(beta: float, utilities: Sequence[float]) -> float:
+    """:math:`\\sum_f p^*_f U_f` -- what MVCom(β) actually achieves."""
+    probabilities = stationary_distribution(beta, utilities)
+    return float(probabilities @ np.asarray(utilities, dtype=np.float64))
+
+
+def entropy(probabilities: Sequence[float]) -> float:
+    """Shannon entropy :math:`-\\sum p \\log p` (natural log), 0log0 := 0."""
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if probabilities.size and (probabilities < -1e-12).any():
+        raise ValueError("probabilities must be non-negative")
+    positive = probabilities[probabilities > 0]
+    return float(-(positive * np.log(positive)).sum())
+
+
+def approximation_loss_bound(beta: float, num_solutions: int) -> float:
+    """Remark 1's bound: :math:`\\frac 1\\beta \\log|\\mathcal F|`."""
+    if beta <= 0:
+        raise ValueError("beta must be positive")
+    if num_solutions < 1:
+        raise ValueError("solution space cannot be empty")
+    return float(np.log(num_solutions) / beta)
+
+
+def optimality_gap(beta: float, utilities: Sequence[float]) -> float:
+    """Gap between the true optimum and the Gibbs expectation.
+
+    Remark 1 guarantees this is at most
+    :func:`approximation_loss_bound(beta, len(utilities))`; the theory tests
+    verify that relationship across random instances.
+    """
+    utilities = np.asarray(utilities, dtype=np.float64)
+    return float(utilities.max() - expected_utility(beta, utilities))

@@ -1,0 +1,575 @@
+"""The Online Distributed Stochastic-Exploration algorithm (Algs. 1-3).
+
+Structure (Section IV-D, Fig. 5): the algorithm runs Γ *distributed
+parallel execution threads*; each executor hosts the full family of
+solution threads :math:`\\{f_n\\}` -- one per feasible cardinality ``n``
+(Alg. 1 line 3) -- together with their timers :math:`\\{T_n\\}`.  Within an
+executor the solutions race: every solution holds an armed exponential
+timer (Alg. 3) for a pre-chosen swap pair :math:`(\\tilde i, \\ddot i)`
+whose mean follows eq. (8); the first timer to expire performs its swap
+("State Transit") and broadcasts RESET, so every solution re-draws its pair
+and timer against the new utilities.  Across executors the replicas explore
+independently and the final committee takes the best converged solution
+(Alg. 1 lines 22-27) -- which is exactly why Fig. 8 shows larger Γ
+converging faster per iteration and to a higher utility, saturating once
+additional replicas stop finding new basins.
+
+One race round is simulated exactly: timers are independent exponentials,
+so (i) drawing each solution's pair uniformly and its log-duration from
+eq. (8), then (ii) firing the minimum, reproduces the race's distribution;
+the RESET broadcast is the re-draw at the top of the next round.
+
+Numerics: timer arithmetic runs in log space (:mod:`repro.core.timers`)
+because :math:`\\beta\\,\\Delta U` routinely exceeds float range on the
+paper's workloads; durations are clamped into a finite range only when
+added to the virtual clock -- the practical realisation of the paper's
+:math:`\\tau` "conditional constant [avoiding] the zero-floored computing
+error of the exp function".
+
+Dynamic events (Alg. 1 lines 9-12): a LEAVE re-initialises every solution
+that contained the failed committee (the trimmed-space behaviour of
+Section V) and rebases the rest; a JOIN rebases all solutions onto the
+grown instance -- the DDL, and therefore every shard's value, re-evaluates.
+Both reset the convergence detector.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.convergence import ConvergenceDetector
+from repro.core.dynamics import CommitteeEvent, DynamicSchedule, EventKind
+from repro.core.problem import DEFAULT_BETA, DEFAULT_TAU, EpochInstance
+from repro.core.solution import Solution
+from repro.core.timers import clamped_exp
+from repro.sim.rng import RandomStreams, derive_seed
+
+
+class InfeasibleEpochError(ValueError):
+    """Raised when an epoch admits no feasible selection at all."""
+
+
+@dataclass(frozen=True)
+class SEConfig:
+    """Tunables of the SE algorithm (paper defaults: β=2, τ=0).
+
+    ``num_threads`` is the paper's Γ, the number of executor replicas.
+    ``max_solution_threads`` caps how many per-cardinality solution threads
+    :math:`f_n` each replica instantiates (the feasible cardinality range
+    is subsampled evenly when wider); ``None`` means one per feasible
+    cardinality, exactly as in Alg. 1.  ``pair_tries`` bounds the rejection
+    sampling used to find a capacity-feasible swap pair in Set-timer();
+    ``init_tries`` bounds Alg. 2's "re-pick until Cons. (4) holds" loop.
+    """
+
+    beta: float = DEFAULT_BETA
+    tau: float = DEFAULT_TAU
+    num_threads: int = 10
+    max_iterations: int = 10_000
+    convergence_window: int = 1_000
+    tolerance: float = 1e-9
+    seed: int = 0
+    pair_tries: int = 16
+    init_tries: int = 200
+    include_full_solution: bool = True
+    max_solution_threads: Optional[int] = 64
+
+    def __post_init__(self) -> None:
+        if self.beta <= 0:
+            raise ValueError("beta must be positive")
+        if self.num_threads <= 0:
+            raise ValueError("num_threads (Gamma) must be positive")
+        if self.max_iterations <= 0:
+            raise ValueError("max_iterations must be positive")
+        if self.pair_tries <= 0 or self.init_tries <= 0:
+            raise ValueError("retry budgets must be positive")
+        if self.max_solution_threads is not None and self.max_solution_threads <= 0:
+            raise ValueError("max_solution_threads must be positive or None")
+
+
+@dataclass
+class SEResult:
+    """Outcome of one SE run.
+
+    ``utility_trace[k]`` is the best utility seen up to race round ``k``;
+    ``current_trace[k]`` is the best *current* solution utility across
+    replicas at round ``k`` -- the series that dips when a committee fails
+    (Fig. 9a).  ``virtual_time_trace`` is cumulative virtual seconds (the
+    parallel executors' wall clock, i.e. the slowest replica's race time).
+    """
+
+    best_mask: np.ndarray
+    best_utility: float
+    best_weight: int
+    best_count: int
+    iterations: int
+    converged: bool
+    utility_trace: np.ndarray
+    current_trace: np.ndarray
+    virtual_time_trace: np.ndarray
+    thread_cardinalities: List[int]
+    num_replicas: int = 1
+    events_applied: List[CommitteeEvent] = field(default_factory=list)
+    final_instance: Optional[EpochInstance] = None
+
+    @property
+    def valuable_degree_inputs(self) -> tuple:
+        """(mask, instance) pair for metrics; instance reflects final dynamics."""
+        return self.best_mask, self.final_instance
+
+
+class _ThreadRng:
+    """Per-thread random stream for the race hot path.
+
+    The race needs tens of millions of scalar draws; the stdlib Mersenne
+    Twister's C-level ``random()`` is an order of magnitude cheaper per
+    call than a ``numpy.random.Generator`` scalar draw, and each thread
+    owning its own seeded instance preserves stream isolation.
+    """
+
+    __slots__ = ("_rnd",)
+
+    def __init__(self, seed: int) -> None:
+        self._rnd = random.Random(seed)
+
+    @property
+    def uniform(self):
+        """The bound ``random()`` method (bind once per hot loop)."""
+        return self._rnd.random
+
+
+# A thread's armed timer is the tuple (log_duration, index_out, index_in);
+# plain tuples keep the race's per-round allocation cost negligible.
+class _SolutionThread:
+    """One solution thread :math:`f_n` (state machine of Fig. 6)."""
+
+    __slots__ = ("cardinality", "rng", "config", "solution", "timer", "active", "sel", "unsel", "loc")
+
+    def __init__(self, cardinality: int, rng: _ThreadRng, config: SEConfig) -> None:
+        self.cardinality = cardinality
+        self.rng = rng
+        self.config = config
+        self.solution: Optional[Solution] = None
+        self.timer: Optional[tuple] = None
+        self.active = False
+        # Index bookkeeping for O(1) uniform pair sampling: ``sel``/``unsel``
+        # list the selected/unselected positions and ``loc[p]`` is position
+        # p's slot in whichever list currently holds it.
+        self.sel: list = []
+        self.unsel: list = []
+        self.loc: list = []
+
+    def set_solution(self, solution: Optional[Solution]) -> None:
+        """Install a solution and rebuild the pair-sampling index lists."""
+        self.solution = solution
+        self.timer = None
+        if solution is None:
+            self.sel, self.unsel, self.loc = [], [], []
+            self.active = False
+            return
+        self.sel, self.unsel = [], []
+        self.loc = [0] * len(solution.selected)
+        for position, chosen in enumerate(solution.selected):
+            if chosen:
+                self.loc[position] = len(self.sel)
+                self.sel.append(position)
+            else:
+                self.loc[position] = len(self.unsel)
+                self.unsel.append(position)
+        self.active = True
+
+    # -------------------------------------------------------------- #
+    # Alg. 2: Initialization()
+    # -------------------------------------------------------------- #
+    def initialize(self, instance: EpochInstance, np_rng: np.random.Generator) -> bool:
+        """Random feasible solution with exactly ``self.cardinality`` shards.
+
+        Alg. 2 re-picks random ``n``-subsets until Cons. (4) holds; we
+        realise the same distribution's support in one vectorised pass: a
+        uniform random ``n``-subset, repaired (when over capacity) by
+        swapping its heaviest members for the lightest outsiders until the
+        capacity holds.  Falls back to the ``n`` lightest shards, so a
+        feasible cardinality never deactivates.
+        """
+        n = self.cardinality
+        self.timer = None
+        if not 0 < n <= instance.num_shards:
+            self.set_solution(None)
+            return False
+        tx_counts = instance.tx_counts
+        permutation = np_rng.permutation(instance.num_shards)
+        chosen, outside = permutation[:n], permutation[n:]
+        weight = int(tx_counts[chosen].sum())
+        if weight > instance.capacity and len(outside):
+            heavy_first = chosen[np.argsort(-tx_counts[chosen], kind="stable")]
+            light_first = outside[np.argsort(tx_counts[outside], kind="stable")]
+            swaps = min(len(heavy_first), len(light_first))
+            # weight after k swaps is monotone non-increasing in k
+            relief = np.cumsum(tx_counts[heavy_first[:swaps]] - tx_counts[light_first[:swaps]])
+            needed = np.searchsorted(relief, weight - instance.capacity, side="left") + 1
+            if needed <= swaps and relief[needed - 1] >= weight - instance.capacity:
+                chosen = np.concatenate([heavy_first[needed:], light_first[:needed]])
+            else:
+                chosen = np.argsort(tx_counts, kind="stable")[:n]  # lightest-n fallback
+        candidate = Solution.from_indices(instance, chosen)
+        if candidate.capacity_feasible:
+            self.set_solution(candidate)
+            return True
+        self.set_solution(None)
+        return False
+
+    # -------------------------------------------------------------- #
+    # Alg. 3: Set-timer()
+    # -------------------------------------------------------------- #
+    def set_timer(self) -> None:
+        """Choose a random swap pair and arm an exponential timer (eq. 8).
+
+        Pairs whose swap would violate the capacity are rejected and
+        redrawn; if no feasible pair surfaces within the retry budget the
+        thread parks (no timer) until the next RESET re-arms it.
+
+        Hot path: the pair is drawn uniformly from the maintained
+        selected/unselected index lists (two draws, no rejection against
+        the mask) and scalar reads go through the instance's plain-list
+        mirrors.
+        """
+        self.timer = None
+        solution = self.solution
+        if not self.active or solution is None:
+            return
+        sel, unsel = self.sel, self.unsel
+        len_sel, len_unsel = len(sel), len(unsel)
+        if len_sel == 0 or len_unsel == 0:
+            return
+        uniform = self.rng.uniform
+        instance = solution.instance
+        slack = instance.capacity - solution.weight
+        tx_counts = instance.tx_counts_list
+        values = instance.values_list
+        half_beta = 0.5 * self.config.beta
+        log_mean_base = self.config.tau - math.log(len_unsel)
+        for _ in range(self.config.pair_tries):
+            index_out = sel[int(uniform() * len_sel)]
+            index_in = unsel[int(uniform() * len_unsel)]
+            if tx_counts[index_in] - tx_counts[index_out] > slack:
+                continue
+            delta = values[index_in] - values[index_out]
+            # log T = log(mean) + log(Exp(1) sample), computed stably
+            # (log_timer_mean inlined: tau - beta/2*delta - log(open)).
+            log_exp1 = math.log(max(-math.log1p(-uniform()), 1e-300))
+            self.timer = (log_mean_base - half_beta * delta + log_exp1, index_out, index_in)
+            return
+
+    # -------------------------------------------------------------- #
+    # Alg. 1: State Transit
+    # -------------------------------------------------------------- #
+    def fire(self) -> None:
+        """Apply the armed swap: :math:`x_{\\tilde i} \\to 0`, :math:`x_{\\ddot i} \\to 1`."""
+        if self.timer is None or self.solution is None:
+            raise RuntimeError("fire() called with no armed timer")
+        _, index_out, index_in = self.timer
+        self.solution.swap(index_out, index_in)
+        # Keep the pair-sampling lists in sync: out joins unsel in in's old
+        # slot; in joins sel in out's old slot.
+        loc = self.loc
+        slot_out, slot_in = loc[index_out], loc[index_in]
+        self.sel[slot_out] = index_in
+        self.unsel[slot_in] = index_out
+        loc[index_in], loc[index_out] = slot_out, slot_in
+        self.timer = None
+
+    @property
+    def utility(self) -> float:
+        """Current solution utility (-inf when uninitialised)."""
+        return self.solution.utility if self.solution is not None else float("-inf")
+
+
+class _Replica:
+    """One executor hosting the full solution-thread family (Fig. 5)."""
+
+    __slots__ = ("threads", "virtual_time")
+
+    def __init__(self, threads: List[_SolutionThread]) -> None:
+        self.threads = threads
+        self.virtual_time = 0.0
+
+    def race_round(self) -> Optional[_SolutionThread]:
+        """Arm every solution (the RESET re-draw), fire the earliest timer.
+
+        Returns the fired thread, or ``None`` when no solution could arm a
+        feasible pair this round.
+        """
+        winner: Optional[_SolutionThread] = None
+        winner_log = math.inf
+        for thread in self.threads:
+            thread.set_timer()
+            timer = thread.timer
+            if timer is not None and timer[0] < winner_log:
+                winner_log = timer[0]
+                winner = thread
+        if winner is None:
+            return None
+        self.virtual_time += clamped_exp(winner_log)
+        winner.fire()
+        return winner
+
+    def best_solution(self) -> Optional[Solution]:
+        """This replica's best current solution (None if none live)."""
+        best = None
+        for thread in self.threads:
+            if thread.solution is not None:
+                if best is None or thread.solution.utility > best.utility:
+                    best = thread.solution
+        return best
+
+
+def should_bootstrap(instance: EpochInstance) -> bool:
+    """Alg. 1 line 1's trigger condition.
+
+    The algorithm only starts once (a) enough member committees have
+    arrived to satisfy the cardinality floor and (b) the submitted shards
+    overflow the final block (otherwise everything fits and there is
+    nothing to schedule).
+    """
+    return (
+        instance.num_shards >= instance.n_min
+        and int(instance.tx_counts.sum()) > instance.capacity
+    )
+
+
+class StochasticExploration:
+    """Driver implementing Alg. 1's event loop over Γ executor replicas."""
+
+    def __init__(self, config: SEConfig = SEConfig()) -> None:
+        self.config = config
+
+    # -------------------------------------------------------------- #
+    # public API
+    # -------------------------------------------------------------- #
+    def solve(
+        self,
+        instance: EpochInstance,
+        schedule: Optional[DynamicSchedule] = None,
+    ) -> SEResult:
+        """Run SE on one epoch, optionally with a dynamic event schedule."""
+        streams = RandomStreams(self.config.seed)
+        replicas = self._spawn_replicas(instance, streams)
+        if not any(thread.active for replica in replicas for thread in replica.threads):
+            raise InfeasibleEpochError(
+                "no feasible solution at any thread cardinality; capacity too small"
+            )
+        if schedule is not None:
+            schedule.reset()
+
+        detector = ConvergenceDetector(
+            window=self.config.convergence_window, tolerance=self.config.tolerance
+        )
+        best = self._best_current(replicas)
+        best = self._maybe_full_solution(instance, best)
+        utility_trace: List[float] = []
+        current_trace: List[float] = []
+        time_trace: List[float] = []
+        events_applied: List[CommitteeEvent] = []
+        converged = False
+        iterations = 0
+
+        for iteration in range(self.config.max_iterations):
+            iterations = iteration + 1
+            if schedule is not None:
+                fired_events = schedule.due(iteration)
+                if fired_events:
+                    instance = self._apply_events(instance, replicas, fired_events, streams)
+                    events_applied.extend(fired_events)
+                    detector.reset()
+                    best = self._rebase_best(best, instance)
+                    best = self._pick_better(best, self._best_current(replicas))
+                    best = self._maybe_full_solution(instance, best)
+
+            round_best: Optional[Solution] = None
+            for replica in replicas:
+                fired = replica.race_round()
+                if fired is not None and fired.solution is not None:
+                    if round_best is None or fired.solution.utility > round_best.utility:
+                        round_best = fired.solution
+            best = self._pick_better(best, round_best)
+
+            utility_trace.append(best.utility)
+            current_trace.append(self._current_utility(replicas))
+            time_trace.append(max(replica.virtual_time for replica in replicas))
+            if detector.update(best.utility) and (schedule is None or schedule.exhausted):
+                converged = True
+                break
+
+        return SEResult(
+            best_mask=best.mask.copy(),
+            best_utility=best.utility,
+            best_weight=best.weight,
+            best_count=best.count,
+            iterations=iterations,
+            converged=converged,
+            utility_trace=np.asarray(utility_trace),
+            current_trace=np.asarray(current_trace),
+            virtual_time_trace=np.asarray(time_trace),
+            thread_cardinalities=[t.cardinality for t in replicas[0].threads],
+            num_replicas=len(replicas),
+            events_applied=events_applied,
+            final_instance=instance,
+        )
+
+    # -------------------------------------------------------------- #
+    # internals
+    # -------------------------------------------------------------- #
+    def thread_cardinalities(self, instance: EpochInstance) -> List[int]:
+        """Cardinalities instantiated per replica (Alg. 1 line 3).
+
+        The feasible range is ``[n_lo, n_hi]`` with ``n_lo`` the (effective)
+        ``n_min`` floor and ``n_hi`` the capacity cardinality cap --
+        cardinalities outside it can never satisfy constraints (3)-(4), so
+        their :math:`f_n` could never enter the candidate set λ.  When
+        ``max_solution_threads`` caps the count, the range is subsampled
+        evenly (always keeping both endpoints).
+        """
+        n_hi = max(instance.max_feasible_cardinality, 1)
+        n_hi = min(n_hi, instance.num_shards)
+        n_lo = max(1, min(instance.n_min, n_hi))
+        cardinalities = list(range(n_lo, n_hi + 1))
+        cap = self.config.max_solution_threads
+        if cap is not None and len(cardinalities) > cap:
+            positions = np.linspace(0, len(cardinalities) - 1, num=cap)
+            cardinalities = sorted({cardinalities[int(round(p))] for p in positions})
+        return cardinalities
+
+    def _spawn_replicas(self, instance: EpochInstance, streams: RandomStreams) -> List[_Replica]:
+        cardinalities = self.thread_cardinalities(instance)
+        replicas = []
+        for replica_id in range(self.config.num_threads):
+            init_rng = streams.get(f"replica-{replica_id}-init")
+            threads = []
+            for cardinality in cardinalities:
+                rng = _ThreadRng(derive_seed(streams.seed, f"replica-{replica_id}-n{cardinality}"))
+                thread = _SolutionThread(cardinality=cardinality, rng=rng, config=self.config)
+                thread.initialize(instance, init_rng)
+                threads.append(thread)
+            replicas.append(_Replica(threads))
+        return replicas
+
+    @staticmethod
+    def _best_current(replicas: Sequence[_Replica]) -> Solution:
+        best = None
+        for replica in replicas:
+            candidate = replica.best_solution()
+            if candidate is not None and (best is None or candidate.utility > best.utility):
+                best = candidate
+        if best is None:
+            raise InfeasibleEpochError("all solution threads are inactive")
+        return best.copy()
+
+    @staticmethod
+    def _current_utility(replicas: Sequence[_Replica]) -> float:
+        best = float("-inf")
+        for replica in replicas:
+            for thread in replica.threads:
+                if thread.solution is not None and thread.solution.utility > best:
+                    best = thread.solution.utility
+        return best
+
+    @staticmethod
+    def _pick_better(best: Solution, candidate: Optional[Solution]) -> Solution:
+        if candidate is not None and candidate.utility > best.utility:
+            return candidate.copy()
+        return best
+
+    def _maybe_full_solution(self, instance: EpochInstance, best: Solution) -> Solution:
+        """Alg. 1 line 25: also consider :math:`f_{|I_j|}` when Ĉ allows it."""
+        if not self.config.include_full_solution:
+            return best
+        full = Solution(instance, np.ones(instance.num_shards, dtype=bool))
+        if full.capacity_feasible:
+            return self._pick_better(best, full)
+        return best
+
+    def _rebase_best(self, best: Solution, instance: EpochInstance) -> Solution:
+        rebased = best.rebase(instance)
+        if not rebased.capacity_feasible:
+            # Shards vanished or values shifted; trim the worst picks until
+            # the carried-over incumbent is feasible again.
+            while not rebased.capacity_feasible and rebased.count > 0:
+                selected = rebased.selected_positions()
+                worst = min(selected, key=lambda i: float(rebased.instance.values[i]))
+                rebased.flip(int(worst))
+        return rebased
+
+    def _apply_events(
+        self,
+        instance: EpochInstance,
+        replicas: Sequence[_Replica],
+        events: Sequence[CommitteeEvent],
+        streams: RandomStreams,
+    ) -> EpochInstance:
+        """Alg. 1 lines 9-12: update ``I_j`` and re-seat every solution."""
+        leave_rng = streams.get("leave-reinit")
+        for event in events:
+            if event.kind is EventKind.LEAVE:
+                instance = self._apply_leave(instance, replicas, event, leave_rng)
+            else:
+                instance = self._apply_join(instance, replicas, event)
+        # Re-spread cardinalities over the (possibly resized) feasible range.
+        cardinalities = self.thread_cardinalities(instance)
+        for replica_id, replica in enumerate(replicas):
+            init_rng = streams.get(f"replica-{replica_id}-init")
+            existing = {thread.cardinality: thread for thread in replica.threads}
+            reseated = []
+            for cardinality in cardinalities:
+                thread = existing.pop(cardinality, None)
+                if thread is None:
+                    rng = _ThreadRng(derive_seed(streams.seed, f"replica-{replica_id}-dyn-n{cardinality}"))
+                    thread = _SolutionThread(cardinality=cardinality, rng=rng, config=self.config)
+                    thread.initialize(instance, init_rng)
+                elif thread.solution is None or not thread.active:
+                    thread.initialize(instance, init_rng)
+                thread.timer = None
+                reseated.append(thread)
+            replica.threads = reseated
+        return instance
+
+    @staticmethod
+    def _apply_leave(
+        instance: EpochInstance,
+        replicas: Sequence[_Replica],
+        event: CommitteeEvent,
+        init_rng: np.random.Generator,
+    ) -> EpochInstance:
+        if event.shard_id not in instance.shard_ids:
+            return instance  # committee already gone; tolerate duplicates
+        new_instance = instance.without(event.shard_id)
+        for replica in replicas:
+            for thread in replica.threads:
+                if thread.solution is None:
+                    continue
+                if event.shard_id in thread.solution.selected_ids():
+                    # Section V: solutions containing the failed committee
+                    # are trimmed out of the space -- re-initialise.
+                    thread.initialize(new_instance, init_rng)
+                else:
+                    thread.set_solution(thread.solution.rebase(new_instance))
+        return new_instance
+
+    @staticmethod
+    def _apply_join(
+        instance: EpochInstance,
+        replicas: Sequence[_Replica],
+        event: CommitteeEvent,
+    ) -> EpochInstance:
+        if event.shard_id in instance.shard_ids:
+            return instance
+        new_instance = instance.with_shard(event.shard_id, event.tx_count, event.latency)
+        for replica in replicas:
+            for thread in replica.threads:
+                if thread.solution is not None:
+                    thread.set_solution(thread.solution.rebase(new_instance))
+        return new_instance

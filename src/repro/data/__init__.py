@@ -1,0 +1,32 @@
+"""Transaction-trace substrate.
+
+The paper drives its simulations with a snapshot of the first 1,500,000
+Bitcoin transactions of January 2016, sampled into 1378 blocks with fields
+``blockID``, ``bhash``, ``btime``, ``txs``.  That proprietary-ish snapshot is
+replaced here by :mod:`repro.data.bitcoin`, a seeded synthetic generator that
+reproduces the same schema and aggregate statistics; the scheduling
+algorithms only ever observe per-shard ``(tx count, two-phase latency)``
+pairs, so the substitution preserves the exercised code path (see DESIGN.md).
+"""
+
+from repro.data.bitcoin import BitcoinBlock, BitcoinTraceConfig, generate_bitcoin_trace
+from repro.data.latency import TwoPhaseLatencyModel, TwoPhaseSample
+from repro.data.shards import build_shards, partition_blocks
+from repro.data.workload import EpochWorkload, WorkloadConfig, generate_epoch_workload
+from repro.data.loader import TraceFormatError, read_trace_csv, write_trace_csv
+
+__all__ = [
+    "BitcoinBlock",
+    "BitcoinTraceConfig",
+    "generate_bitcoin_trace",
+    "TwoPhaseLatencyModel",
+    "TwoPhaseSample",
+    "build_shards",
+    "partition_blocks",
+    "EpochWorkload",
+    "WorkloadConfig",
+    "generate_epoch_workload",
+    "TraceFormatError",
+    "read_trace_csv",
+    "write_trace_csv",
+]

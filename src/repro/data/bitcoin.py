@@ -1,0 +1,153 @@
+"""Synthetic Bitcoin block trace.
+
+The paper samples 1378 blocks covering the first ~1.5M transactions of
+January 2016.  Each record carries four fields: ``blockID``, ``bhash``
+(block hash), ``btime`` (block creation timestamp) and ``txs`` (number of
+transactions in the block).
+
+We regenerate a trace with the same schema and matching aggregate shape:
+
+* **block count** defaults to 1378;
+* **transactions per block** follow a clipped lognormal whose mean is tuned
+  so the whole trace carries ~1.5M transactions (~1088 TXs/block, which is
+  also the real Jan-2016 average);
+* **inter-block time** is exponential with mean 600 s (Bitcoin's target);
+* **bhash** is a deterministic double-SHA256 over the block's contents, so
+  hashes are stable for a given seed and unique across blocks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.sim.rng import spawn_rng
+
+#: 2016-01-01 00:00:00 UTC, the start of the paper's snapshot window.
+JANUARY_2016_UNIX = 1451606400
+
+#: Aggregate targets from the paper: 1378 blocks holding ~1.5M transactions.
+PAPER_BLOCK_COUNT = 1378
+PAPER_TOTAL_TXS = 1_500_000
+
+
+@dataclass(frozen=True)
+class BitcoinBlock:
+    """One record of the transaction trace (schema copied from the paper)."""
+
+    block_id: int
+    bhash: str
+    btime: int
+    txs: int
+
+    def __post_init__(self) -> None:
+        if self.txs < 0:
+            raise ValueError(f"block {self.block_id} has negative tx count {self.txs}")
+
+
+@dataclass(frozen=True)
+class BitcoinTraceConfig:
+    """Parameters of the synthetic trace generator.
+
+    The defaults reproduce the aggregate statistics of the paper's snapshot.
+    ``sigma`` controls the spread of TXs-per-block (real Jan-2016 blocks vary
+    roughly 3x around the mean); ``max_txs_per_block`` caps outliers the way
+    the 1MB block-size limit did.
+    """
+
+    num_blocks: int = PAPER_BLOCK_COUNT
+    total_txs: int = PAPER_TOTAL_TXS
+    sigma: float = 0.45
+    mean_interblock_seconds: float = 600.0
+    max_txs_per_block: int = 4096
+    start_time: int = JANUARY_2016_UNIX
+    seed: int = 2016
+
+    def __post_init__(self) -> None:
+        if self.num_blocks <= 0:
+            raise ValueError("num_blocks must be positive")
+        if self.total_txs < self.num_blocks:
+            raise ValueError("need at least one transaction per block")
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        if self.mean_interblock_seconds <= 0:
+            raise ValueError("mean_interblock_seconds must be positive")
+
+
+def _block_hash(block_id: int, btime: int, txs: int, seed: int) -> str:
+    """Deterministic stand-in for a Bitcoin block hash (double SHA-256)."""
+    preimage = f"{seed}/{block_id}/{btime}/{txs}".encode("utf-8")
+    return hashlib.sha256(hashlib.sha256(preimage).digest()).hexdigest()
+
+
+def generate_bitcoin_trace(config: BitcoinTraceConfig = BitcoinTraceConfig()) -> List[BitcoinBlock]:
+    """Generate the synthetic block trace.
+
+    The lognormal draws are renormalised so the trace total matches
+    ``config.total_txs`` exactly (residual rounding error is folded into the
+    largest block, mirroring how a real snapshot has an exact TX count).
+    """
+    rng = spawn_rng(config.seed, "bitcoin-trace")
+    mean_txs = config.total_txs / config.num_blocks
+
+    # Lognormal with unit mean, then scaled to the target per-block mean.
+    mu = -0.5 * config.sigma**2
+    raw = rng.lognormal(mean=mu, sigma=config.sigma, size=config.num_blocks)
+    txs = np.clip(raw * mean_txs, 1, config.max_txs_per_block)
+    txs = np.floor(txs * (config.total_txs / txs.sum())).astype(np.int64)
+    txs = np.maximum(txs, 1)
+    # Fold the rounding residual into blocks with cap headroom, largest
+    # headroom first, so the exact total holds without breaching the cap.
+    residual = config.total_txs - int(txs.sum())
+    if residual < 0:
+        raise RuntimeError("trace renormalisation overshot the TX total")
+    for index in np.argsort(txs, kind="stable"):
+        if residual == 0:
+            break
+        headroom = config.max_txs_per_block - int(txs[index])
+        grant = min(headroom, residual)
+        txs[index] += grant
+        residual -= grant
+    if residual > 0:
+        raise ValueError(
+            "total_txs cannot fit under max_txs_per_block across num_blocks"
+        )
+    if txs.min() < 1:
+        raise RuntimeError("trace renormalisation produced an empty block")
+
+    gaps = rng.exponential(config.mean_interblock_seconds, size=config.num_blocks)
+    btimes = (config.start_time + np.cumsum(gaps)).astype(np.int64)
+
+    blocks = []
+    for block_id in range(config.num_blocks):
+        count = int(txs[block_id])
+        when = int(btimes[block_id])
+        blocks.append(
+            BitcoinBlock(
+                block_id=block_id,
+                bhash=_block_hash(block_id, when, count, config.seed),
+                btime=when,
+                txs=count,
+            )
+        )
+    return blocks
+
+
+def trace_statistics(blocks: Sequence[BitcoinBlock]) -> dict:
+    """Summary statistics used by tests and EXPERIMENTS.md."""
+    counts = np.array([block.txs for block in blocks], dtype=np.int64)
+    times = np.array([block.btime for block in blocks], dtype=np.int64)
+    gaps = np.diff(times) if len(times) > 1 else np.array([0.0])
+    return {
+        "num_blocks": len(blocks),
+        "total_txs": int(counts.sum()),
+        "mean_txs": float(counts.mean()) if len(blocks) else 0.0,
+        "std_txs": float(counts.std()) if len(blocks) else 0.0,
+        "min_txs": int(counts.min()) if len(blocks) else 0,
+        "max_txs": int(counts.max()) if len(blocks) else 0,
+        "mean_interblock_seconds": float(gaps.mean()) if len(gaps) else 0.0,
+        "span_seconds": float(times[-1] - times[0]) if len(times) > 1 else 0.0,
+    }

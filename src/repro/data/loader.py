@@ -1,0 +1,82 @@
+"""Loading a real transaction trace.
+
+The paper's dataset is a Bitcoin snapshot with rows
+``blockID, bhash, btime, txs``.  Users who have such a CSV (the real
+snapshot, or any chain export with the same schema) can feed it directly to
+the workload builder; everything downstream is agnostic to whether the
+trace is real or synthetic.
+
+The loader is strict: schema violations raise with row context instead of
+silently producing a corrupted experiment.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import List, Sequence, Union
+
+from repro.data.bitcoin import BitcoinBlock
+
+REQUIRED_COLUMNS = ("blockID", "bhash", "btime", "txs")
+
+
+class TraceFormatError(ValueError):
+    """A trace file violated the expected schema."""
+
+
+def _parse_row(row: dict, line: int) -> BitcoinBlock:
+    try:
+        block_id = int(row["blockID"])
+        bhash = str(row["bhash"]).strip()
+        btime = int(row["btime"])
+        txs = int(row["txs"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceFormatError(f"line {line}: malformed row {row!r}") from exc
+    if not bhash:
+        raise TraceFormatError(f"line {line}: empty block hash")
+    if txs < 0:
+        raise TraceFormatError(f"line {line}: negative tx count {txs}")
+    return BitcoinBlock(block_id=block_id, bhash=bhash, btime=btime, txs=txs)
+
+
+def read_trace_csv(source: Union[str, io.TextIOBase]) -> List[BitcoinBlock]:
+    """Read a block trace from a CSV path or open text handle.
+
+    Rows are returned sorted by ``btime`` (snapshot exports are usually but
+    not reliably time-ordered).  Duplicate block ids are rejected.
+    """
+    if isinstance(source, str):
+        with open(source, newline="") as handle:
+            return read_trace_csv(handle)
+    reader = csv.DictReader(source)
+    if reader.fieldnames is None:
+        raise TraceFormatError("empty trace file")
+    missing = [column for column in REQUIRED_COLUMNS if column not in reader.fieldnames]
+    if missing:
+        raise TraceFormatError(f"missing columns: {missing}")
+
+    blocks = []
+    seen_ids = set()
+    for line, row in enumerate(reader, start=2):
+        block = _parse_row(row, line)
+        if block.block_id in seen_ids:
+            raise TraceFormatError(f"line {line}: duplicate blockID {block.block_id}")
+        seen_ids.add(block.block_id)
+        blocks.append(block)
+    if not blocks:
+        raise TraceFormatError("trace contains no rows")
+    blocks.sort(key=lambda block: block.btime)
+    return blocks
+
+
+def write_trace_csv(blocks: Sequence[BitcoinBlock], destination: Union[str, io.TextIOBase]) -> None:
+    """Write a trace in the canonical schema (round-trips with the reader)."""
+    if isinstance(destination, str):
+        with open(destination, "w", newline="") as handle:
+            write_trace_csv(blocks, handle)
+            return
+    writer = csv.writer(destination)
+    writer.writerow(REQUIRED_COLUMNS)
+    for block in blocks:
+        writer.writerow([block.block_id, block.bhash, block.btime, block.txs])

@@ -1,0 +1,49 @@
+"""Experiment harness: one runner per paper figure, plus reporting.
+
+* :mod:`repro.harness.presets` -- the paper's parameter presets per figure;
+* :mod:`repro.harness.experiments` -- experiment implementations returning
+  plain-dict series (the same rows/series the paper plots);
+* :mod:`repro.harness.report` -- aligned ASCII tables and CSV writers;
+* :mod:`repro.harness.cli` -- ``mvcom <figure>`` command-line entry point.
+"""
+
+from repro.harness.presets import FigurePreset, PRESETS
+from repro.harness.experiments import (
+    run_fig02_two_phase_latency,
+    run_fig08_parallel_threads,
+    run_fig09_dynamic_events,
+    run_fig10_valuable_degree,
+    run_fig11_vary_committees,
+    run_fig12_vary_alpha,
+    run_fig13_utility_distribution,
+    run_fig14_online_joining,
+    run_theory_failure,
+    run_theory_mixing_time,
+)
+from repro.harness.report import render_table, write_csv
+from repro.harness.sweeps import grid_sweep, parameter_grid
+from repro.harness.textplot import line_plot, sparkline
+from repro.harness.artifacts import read_artifact, write_artifact
+
+__all__ = [
+    "FigurePreset",
+    "PRESETS",
+    "run_fig02_two_phase_latency",
+    "run_fig08_parallel_threads",
+    "run_fig09_dynamic_events",
+    "run_fig10_valuable_degree",
+    "run_fig11_vary_committees",
+    "run_fig12_vary_alpha",
+    "run_fig13_utility_distribution",
+    "run_fig14_online_joining",
+    "run_theory_failure",
+    "run_theory_mixing_time",
+    "render_table",
+    "write_csv",
+    "grid_sweep",
+    "parameter_grid",
+    "line_plot",
+    "sparkline",
+    "read_artifact",
+    "write_artifact",
+]

@@ -1,0 +1,89 @@
+"""``mvcom`` command-line entry point.
+
+Usage::
+
+    mvcom list                  # available experiments
+    mvcom fig08                 # run one figure, print its table, write CSV
+    mvcom all                   # run every figure (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.harness import experiments
+from repro.harness.presets import PRESETS, list_presets
+from repro.harness.report import render_table, sample_trace, traces_table, traces_to_rows, write_csv
+from repro.harness.textplot import line_plot
+from repro.harness.artifacts import write_artifact
+
+RUNNERS: Dict[str, Callable[[], dict]] = {
+    "fig02": experiments.run_fig02_two_phase_latency,
+    "fig08": experiments.run_fig08_parallel_threads,
+    "fig09": experiments.run_fig09_dynamic_events,
+    "fig10": experiments.run_fig10_valuable_degree,
+    "fig11": experiments.run_fig11_vary_committees,
+    "fig12": experiments.run_fig12_vary_alpha,
+    "fig13": experiments.run_fig13_utility_distribution,
+    "fig14": experiments.run_fig14_online_joining,
+    "theory_mixing": experiments.run_theory_mixing_time,
+    "theory_failure": experiments.run_theory_failure,
+}
+
+
+def print_result(name: str, result: dict) -> None:
+    """Pretty-print one experiment's tables, plots and traces."""
+    print(f"=== {name}: {PRESETS.get(name, PRESETS.get(name + 'a', None)) and PRESETS[name if name in PRESETS else name + 'a'].description} ===")
+    if "rows" in result:
+        print(render_table(result["rows"]))
+        write_csv(f"{name}.csv", result["rows"])
+    if "traces" in result:
+        print(line_plot(result["traces"], title=f"{name} convergence"))
+        print(traces_table(result["traces"], title=f"{name} convergence traces"))
+        write_csv(f"{name}_traces.csv", traces_to_rows(result["traces"]))
+    if "panels" in result:
+        for panel, content in result["panels"].items():
+            if "traces" in content:
+                print(traces_table(content["traces"], title=f"{name} {panel}"))
+            if "converged" in content:
+                rows = [{"algorithm": k, "converged_utility": v} for k, v in content["converged"].items()]
+                print(render_table(rows, title=f"{name} {panel} converged"))
+    if "converged" in result and "panels" not in result:
+        rows = [{"series": k, "converged_utility": v} for k, v in result["converged"].items()]
+        print(render_table(rows))
+    if name == "fig09":
+        for part in ("leave_rejoin", "consecutive_joins"):
+            trace = result[part]["current_trace"]
+            print(line_plot({"current utility": trace}, title=f"{name} {part}"))
+            print(render_table(sample_trace(trace), title=f"{name} {part} current-utility trace"))
+            print(f"  events: {result[part]['events']}")
+    print()
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(prog="mvcom", description="MVCom reproduction experiments")
+    parser.add_argument("experiment", choices=sorted(RUNNERS) + ["all", "list"], help="figure to run")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in list_presets():
+            print(f"{name:15s} {PRESETS[name].description}")
+        return 0
+
+    names = sorted(RUNNERS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.time()
+        result = RUNNERS[name]()
+        print_result(name, result)
+        preset = PRESETS.get(name) or PRESETS.get(name + "a")
+        artifact_path = write_artifact(name, result, preset=preset)
+        print(f"[{name} finished in {time.time() - started:.1f}s; artifact: {artifact_path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

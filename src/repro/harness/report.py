@@ -1,0 +1,105 @@
+"""Reporting: aligned ASCII tables and CSV artifacts.
+
+The environment has no plotting stack, so every figure is emitted as (a)
+an aligned table of the series the paper plots and (b) a CSV under
+``results/`` for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))), "results")
+
+
+def render_table(rows: Sequence[dict], title: Optional[str] = None) -> str:
+    """Render dict-rows as an aligned ASCII table (stable column order)."""
+    rows = list(rows)
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {col: len(col) for col in columns}
+    rendered_rows = []
+    for row in rows:
+        rendered = {col: _fmt(row.get(col, "")) for col in columns}
+        rendered_rows.append(rendered)
+        for col in columns:
+            widths[col] = max(widths[col], len(rendered[col]))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for rendered in rendered_rows:
+        lines.append("  ".join(rendered[col].ljust(widths[col]) for col in columns))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def sample_trace(trace: Sequence[float], points: int = 12) -> List[dict]:
+    """Downsample a convergence trace to ``points`` evenly spaced rows."""
+    array = np.asarray(trace, dtype=np.float64)
+    if array.size == 0:
+        return []
+    indices = np.unique(np.linspace(0, array.size - 1, num=min(points, array.size)).astype(int))
+    return [{"iteration": int(i), "utility": float(array[i])} for i in indices]
+
+
+def traces_table(traces: Dict[str, Sequence[float]], points: int = 12, title: str = "") -> str:
+    """Render several aligned traces side by side (iterations as rows)."""
+    aligned = {name: np.asarray(trace, dtype=np.float64) for name, trace in traces.items()}
+    length = max(array.size for array in aligned.values())
+    indices = np.unique(np.linspace(0, length - 1, num=min(points, length)).astype(int))
+    rows = []
+    for i in indices:
+        row = {"iteration": int(i)}
+        for name, array in aligned.items():
+            row[name] = float(array[min(i, array.size - 1)])
+        rows.append(row)
+    return render_table(rows, title=title)
+
+
+def write_csv(filename: str, rows: Sequence[dict], results_dir: Optional[str] = None) -> str:
+    """Write dict-rows to ``results/<filename>``; returns the path."""
+    rows = list(rows)
+    directory = results_dir or RESULTS_DIR
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, filename)
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def traces_to_rows(traces: Dict[str, Sequence[float]]) -> List[dict]:
+    """Long-format rows (iteration, series, value) for CSV export."""
+    rows = []
+    for name, trace in traces.items():
+        for iteration, value in enumerate(np.asarray(trace, dtype=np.float64)):
+            rows.append({"iteration": iteration, "series": name, "value": float(value)})
+    return rows

@@ -1,0 +1,70 @@
+"""Generic parameter-sweep utilities.
+
+The figure experiments hard-code the paper's sweeps; downstream users
+typically want their own ("what happens at N_min = 70%?", "how does SE
+behave when shards are 10x larger?").  :func:`grid_sweep` runs a scheduler
+factory over the Cartesian product of workload/algorithm parameter grids
+and returns flat result rows ready for :mod:`repro.harness.report`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.problem import EpochInstance
+from repro.core.se import SEConfig, StochasticExploration
+from repro.data.workload import WorkloadConfig, generate_epoch_workload
+from repro.metrics.summary import summarize_schedule
+
+
+def parameter_grid(axes: Dict[str, Sequence]) -> List[dict]:
+    """Cartesian product of named parameter axes.
+
+    >>> parameter_grid({"a": [1, 2], "b": ["x"]})
+    [{'a': 1, 'b': 'x'}, {'a': 2, 'b': 'x'}]
+    """
+    if not axes:
+        return [{}]
+    names = list(axes)
+    for name, values in axes.items():
+        if not values:
+            raise ValueError(f"axis {name!r} has no values")
+    return [dict(zip(names, combo)) for combo in itertools.product(*axes.values())]
+
+
+def grid_sweep(
+    base_workload: WorkloadConfig,
+    workload_axes: Optional[Dict[str, Sequence]] = None,
+    se_axes: Optional[Dict[str, Sequence]] = None,
+    base_se: SEConfig = SEConfig(),
+    extra_metrics: Optional[Callable[[EpochInstance, object], dict]] = None,
+) -> List[dict]:
+    """Run SE over every combination of workload and SE parameter overrides.
+
+    Returns one flat row per combination with the workload/SE overrides,
+    the schedule summary, and any ``extra_metrics(instance, se_result)``.
+    """
+    rows: List[dict] = []
+    for workload_override in parameter_grid(workload_axes or {}):
+        workload_config = replace(base_workload, **workload_override)
+        workload = generate_epoch_workload(workload_config)
+        for se_override in parameter_grid(se_axes or {}):
+            se_config = replace(base_se, **se_override)
+            result = StochasticExploration(se_config).solve(workload.instance)
+            summary = summarize_schedule(workload.instance, result.best_mask, "SE")
+            row = {**workload_override, **se_override, **summary.as_row(),
+                   "iterations": result.iterations, "converged": result.converged}
+            if extra_metrics is not None:
+                row.update(extra_metrics(workload.instance, result))
+            rows.append(row)
+    return rows
+
+
+def best_row(rows: Iterable[dict], key: str = "utility") -> dict:
+    """The sweep row maximising ``key``."""
+    rows = list(rows)
+    if not rows:
+        raise ValueError("empty sweep")
+    return max(rows, key=lambda row: row[key])

@@ -1,0 +1,98 @@
+"""Terminal line plots for convergence figures.
+
+The environment has no plotting stack, so the figure benches render their
+series as character-grid line charts: one glyph per series, a y-axis with
+real tick values, and an x-axis in iterations.  Good enough to *see*
+Fig. 8's Γ ordering or Fig. 9's failure dip directly in the pytest output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+#: Series glyphs, assigned in insertion order.
+GLYPHS = "*o+x#@%&"
+
+
+def _scale(values: np.ndarray, lo: float, hi: float, size: int) -> np.ndarray:
+    """Map values in [lo, hi] onto integer rows [0, size-1]."""
+    if hi <= lo:
+        return np.zeros(len(values), dtype=int)
+    scaled = (values - lo) / (hi - lo) * (size - 1)
+    return np.clip(np.round(scaled).astype(int), 0, size - 1)
+
+
+def line_plot(
+    series: Dict[str, Sequence[float]],
+    width: int = 72,
+    height: int = 16,
+    title: Optional[str] = None,
+    x_label: str = "iteration",
+) -> str:
+    """Render named series as one character-grid chart.
+
+    Series of different lengths share the x-axis by *fractional position*
+    (iteration counts are rescaled), which matches how the paper overlays
+    algorithms with different budgets.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 16 or height < 4:
+        raise ValueError("plot area too small")
+    arrays = {name: np.asarray(list(values), dtype=np.float64) for name, values in series.items()}
+    for name, array in arrays.items():
+        if array.size == 0:
+            raise ValueError(f"series {name!r} is empty")
+    if len(arrays) > len(GLYPHS):
+        raise ValueError(f"at most {len(GLYPHS)} series supported")
+
+    lo = min(float(array.min()) for array in arrays.values())
+    hi = max(float(array.max()) for array in arrays.values())
+    grid = [[" "] * width for _ in range(height)]
+
+    for (name, array), glyph in zip(arrays.items(), GLYPHS):
+        # Resample each series onto the plot columns.
+        positions = np.linspace(0, array.size - 1, num=width)
+        resampled = np.interp(positions, np.arange(array.size), array)
+        rows = _scale(resampled, lo, hi, height)
+        for column, row in enumerate(rows):
+            grid[height - 1 - row][column] = glyph
+
+    max_x = max(array.size for array in arrays.values()) - 1
+    y_labels = [f"{hi:,.0f}", f"{(lo + hi) / 2:,.0f}", f"{lo:,.0f}"]
+    label_width = max(len(label) for label in y_labels)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = y_labels[0]
+        elif row_index == height // 2:
+            label = y_labels[1]
+        elif row_index == height - 1:
+            label = y_labels[2]
+        else:
+            label = ""
+        lines.append(f"{label.rjust(label_width)} |{''.join(row)}")
+    lines.append(f"{' ' * label_width} +{'-' * width}")
+    lines.append(f"{' ' * label_width}  0{x_label.center(width - 8)}{max_x}")
+    legend = "  ".join(
+        f"{glyph}={name}" for (name, _), glyph in zip(arrays.items(), GLYPHS)
+    )
+    lines.append(f"{' ' * label_width}  {legend}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """A one-line eight-level sparkline (for compact summaries)."""
+    levels = "▁▂▃▄▅▆▇█"
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        raise ValueError("nothing to plot")
+    positions = np.linspace(0, array.size - 1, num=min(width, array.size))
+    resampled = np.interp(positions, np.arange(array.size), array)
+    rows = _scale(resampled, float(array.min()), float(array.max()), len(levels))
+    return "".join(levels[row] for row in rows)

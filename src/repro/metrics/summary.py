@@ -1,0 +1,57 @@
+"""Per-schedule outcome summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import EpochInstance
+from repro.metrics.valuable_degree import valuable_degree
+
+
+@dataclass(frozen=True)
+class ScheduleSummary:
+    """Everything the evaluation section reports about one schedule."""
+
+    algorithm: str
+    utility: float
+    throughput_txs: int
+    cumulative_age: float
+    committees_selected: int
+    capacity_used_fraction: float
+    valuable_degree: float
+    feasible: bool
+
+    def as_row(self) -> dict:
+        """Flat dict for CSV writers."""
+        return {
+            "algorithm": self.algorithm,
+            "utility": round(self.utility, 3),
+            "throughput_txs": self.throughput_txs,
+            "cumulative_age_s": round(self.cumulative_age, 3),
+            "committees_selected": self.committees_selected,
+            "capacity_used": round(self.capacity_used_fraction, 4),
+            "valuable_degree": round(self.valuable_degree, 3),
+            "feasible": self.feasible,
+        }
+
+
+def summarize_schedule(
+    instance: EpochInstance,
+    mask: np.ndarray,
+    algorithm: str = "unknown",
+) -> ScheduleSummary:
+    """Compute the full metric suite for one selection mask."""
+    mask = np.asarray(mask, dtype=bool)
+    weight = instance.weight(mask)
+    return ScheduleSummary(
+        algorithm=algorithm,
+        utility=instance.utility(mask),
+        throughput_txs=weight,
+        cumulative_age=instance.cumulative_age(mask),
+        committees_selected=int(mask.sum()),
+        capacity_used_fraction=weight / instance.capacity,
+        valuable_degree=valuable_degree(instance, mask),
+        feasible=instance.is_feasible(mask),
+    )

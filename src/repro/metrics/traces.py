@@ -1,0 +1,62 @@
+"""Convergence-trace utilities for the figure benches."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def align_traces(traces: Dict[str, Sequence[float]], length: int = None) -> Dict[str, np.ndarray]:
+    """Pad every trace (holding its last value) to a common length.
+
+    One-shot algorithms (DP, Greedy) produce length-1 traces; iterative ones
+    produce budget-length traces.  The figures plot them on shared axes.
+    """
+    arrays = {name: np.asarray(trace, dtype=np.float64) for name, trace in traces.items()}
+    for name, array in arrays.items():
+        if array.size == 0:
+            raise ValueError(f"trace {name!r} is empty")
+    if length is None:
+        length = max(array.size for array in arrays.values())
+    aligned = {}
+    for name, array in arrays.items():
+        if array.size >= length:
+            aligned[name] = array[:length].copy()
+        else:
+            pad = np.full(length - array.size, array[-1])
+            aligned[name] = np.concatenate([array, pad])
+    return aligned
+
+
+def converged_value(trace: Sequence[float], tail_fraction: float = 0.1) -> float:
+    """The converged utility: mean of the trace's final ``tail_fraction``."""
+    array = np.asarray(trace, dtype=np.float64)
+    if array.size == 0:
+        raise ValueError("empty trace")
+    if not 0 < tail_fraction <= 1:
+        raise ValueError("tail_fraction must lie in (0, 1]")
+    tail = max(1, int(round(array.size * tail_fraction)))
+    return float(array[-tail:].mean())
+
+
+def iterations_to_reach(trace: Sequence[float], target: float) -> int:
+    """First iteration at which the trace reaches ``target`` (-1 if never)."""
+    array = np.asarray(trace, dtype=np.float64)
+    hits = np.flatnonzero(array >= target)
+    return int(hits[0]) if hits.size else -1
+
+
+def trace_statistics(trace: Sequence[float]) -> dict:
+    """Summary stats of a utility trace (used in EXPERIMENTS.md tables)."""
+    array = np.asarray(trace, dtype=np.float64)
+    if array.size == 0:
+        raise ValueError("empty trace")
+    return {
+        "first": float(array[0]),
+        "last": float(array[-1]),
+        "max": float(array.max()),
+        "converged": converged_value(array),
+        "iterations": int(array.size),
+        "iters_to_99pct": iterations_to_reach(array, 0.99 * float(array.max())),
+    }

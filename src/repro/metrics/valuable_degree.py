@@ -1,0 +1,53 @@
+"""Valuable Degree (Section VI-E).
+
+    "we define a Valuable Degree, which is calculated as
+    :math:`\\sum_{i \\in I_j, j \\in J} (x_i \\cdot s_i / \\Pi_i)`"
+
+-- positively related to the number of processed TXs and inversely related
+to their cumulative age, so a high Valuable Degree means the algorithm
+selects many-TX, low-age shards.
+
+Edge case the paper leaves implicit: the slowest selected shard can have
+:math:`\\Pi_i = t_j - l_i = 0` (it *defines* the DDL), which would divide by
+zero.  We floor the age at ``age_floor`` seconds (default 1 s, i.e. "this
+shard waited essentially nothing"), and document the floor in
+EXPERIMENTS.md.  Results are insensitive to the floor because at most one
+shard per epoch sits on it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import EpochInstance
+
+DEFAULT_AGE_FLOOR_S = 1.0
+
+
+def per_shard_valuable_degree(
+    instance: EpochInstance,
+    mask: np.ndarray,
+    age_floor: float = DEFAULT_AGE_FLOOR_S,
+) -> np.ndarray:
+    """Each selected shard's contribution ``s_i / max(Pi_i, age_floor)``.
+
+    Returns an array aligned with the instance's shards; unselected shards
+    contribute zero.
+    """
+    if age_floor <= 0:
+        raise ValueError("age_floor must be positive")
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != (instance.num_shards,):
+        raise ValueError("mask length does not match instance")
+    ages = np.maximum(instance.ages, age_floor)
+    contributions = np.where(mask, instance.tx_counts / ages, 0.0)
+    return contributions
+
+
+def valuable_degree(
+    instance: EpochInstance,
+    mask: np.ndarray,
+    age_floor: float = DEFAULT_AGE_FLOOR_S,
+) -> float:
+    """Total Valuable Degree of a selection."""
+    return float(per_shard_valuable_degree(instance, mask, age_floor).sum())

@@ -1,0 +1,130 @@
+"""Generator-based processes on top of the event engine.
+
+A :class:`Process` wraps a Python generator.  The generator models a
+simulated activity by yielding:
+
+* :class:`Timeout` -- suspend for a virtual-time delay,
+* :class:`WaitEvent` -- suspend until an :class:`repro.sim.engine.Event`
+  fires (the event payload is sent back into the generator),
+* another :class:`Process` -- suspend until that process finishes.
+
+This is the same coroutine style as SimPy but small enough to test
+exhaustively; the PBFT and PoW simulations in :mod:`repro.chain` are written
+against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.sim.engine import Event, SimulationEngine, SimulationError
+
+
+@dataclass
+class Timeout:
+    """Yielded by a process to sleep for ``delay`` virtual seconds."""
+
+    delay: float
+
+
+@dataclass
+class WaitEvent:
+    """Yielded by a process to wait for ``event`` to fire."""
+
+    event: Event
+
+
+class Process:
+    """Drive a generator as a simulated process.
+
+    The process starts immediately (its first segment runs when the engine
+    reaches the current time).  When the generator returns, the process's
+    :attr:`done` event fires with the generator's return value.
+    """
+
+    def __init__(self, engine: SimulationEngine, generator: Generator, name: str = "process"):
+        self.engine = engine
+        self.name = name
+        self.generator = generator
+        self.done = Event(name=f"{name}.done")
+        self.result: object = None
+        self.failed: Optional[BaseException] = None
+        engine.schedule(0.0, lambda: self._advance(None))
+
+    @property
+    def finished(self) -> bool:
+        """True once the generator returned."""
+        return self.done.fired
+
+    def _advance(self, value: object) -> None:
+        try:
+            yielded = self.generator.send(value)
+        except StopIteration as stop:
+            self.result = stop.value
+            self.done.fire(stop.value)
+            return
+        except BaseException as exc:  # surface failures through the handle
+            self.failed = exc
+            self.done.fire(exc)
+            raise
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded: object) -> None:
+        if isinstance(yielded, Timeout):
+            self.engine.schedule(yielded.delay, lambda: self._advance(None))
+        elif isinstance(yielded, WaitEvent):
+            yielded.event.subscribe(lambda event: self._advance(event.payload))
+        elif isinstance(yielded, Process):
+            yielded.done.subscribe(lambda event: self._advance(event.payload))
+        elif isinstance(yielded, Event):
+            yielded.subscribe(lambda event: self._advance(event.payload))
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported value {yielded!r}"
+            )
+
+
+def all_of(engine: SimulationEngine, events: list) -> Event:
+    """Return an event that fires once every event in ``events`` has fired.
+
+    The payload is the list of individual payloads in input order.  An empty
+    list fires immediately (at the next engine step).
+    """
+    gate = Event(name="all_of")
+    remaining = {id(event) for event in events if not event.fired}
+    payloads: dict = {id(event): event.payload for event in events if event.fired}
+
+    if not remaining:
+        engine.schedule(0.0, lambda: gate.fire([payloads.get(id(e)) for e in events]))
+        return gate
+
+    def on_fire(event: Event) -> None:
+        """Record one constituent event's payload."""
+        payloads[id(event)] = event.payload
+        remaining.discard(id(event))
+        if not remaining:
+            gate.fire([payloads.get(id(e)) for e in events])
+
+    for event in events:
+        if not event.fired:
+            event.subscribe(on_fire)
+    return gate
+
+
+def any_of(engine: SimulationEngine, events: list) -> Event:
+    """Return an event that fires as soon as any event in ``events`` fires."""
+    gate = Event(name="any_of")
+
+    def on_fire(event: Event) -> None:
+        """Record one constituent event's payload."""
+        if not gate.fired:
+            gate.fire(event.payload)
+
+    fired_already = [event for event in events if event.fired]
+    if fired_already:
+        engine.schedule(0.0, lambda: on_fire(fired_already[0]))
+        return gate
+    for event in events:
+        event.subscribe(on_fire)
+    return gate

@@ -1,0 +1,68 @@
+"""Named, reproducible random-number streams.
+
+Every stochastic subsystem (trace generation, PoW latency, PBFT latency, SE
+timers, baseline algorithms, ...) draws from its *own* named stream derived
+from one root seed.  This gives two properties the experiments rely on:
+
+* **Reproducibility** -- a fixed root seed reproduces every figure exactly.
+* **Isolation** -- adding a draw in one subsystem does not shift the random
+  sequence seen by any other subsystem, so ablations stay comparable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+import numpy as np
+
+
+def _derive_seed(root_seed: int, name: str) -> int:
+    """Derive a 64-bit child seed from ``root_seed`` and a stream ``name``.
+
+    Uses SHA-256 so the mapping is stable across Python versions and
+    processes (unlike ``hash``).
+    """
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Public alias for the stable 64-bit child-seed derivation."""
+    return _derive_seed(root_seed, name)
+
+
+def spawn_rng(root_seed: int, name: str) -> np.random.Generator:
+    """Create an independent generator for stream ``name``."""
+    return np.random.default_rng(_derive_seed(root_seed, name))
+
+
+class RandomStreams:
+    """A registry of named random streams sharing one root seed.
+
+    >>> streams = RandomStreams(seed=7)
+    >>> a = streams.get("pow")
+    >>> b = streams.get("pbft")
+    >>> a is streams.get("pow")
+    True
+    >>> float(a.random()) != float(b.random())
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return (creating on first use) the stream called ``name``."""
+        if name not in self._streams:
+            self._streams[name] = spawn_rng(self.seed, name)
+        return self._streams[name]
+
+    def fork(self, name: str) -> "RandomStreams":
+        """Create a child registry whose streams are independent of this one."""
+        return RandomStreams(_derive_seed(self.seed, f"fork:{name}"))
+
+    def reset(self) -> None:
+        """Drop all streams so the next ``get`` restarts each sequence."""
+        self._streams.clear()

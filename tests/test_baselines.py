@@ -1,0 +1,165 @@
+"""Tests shared across all baseline schedulers + per-algorithm specifics."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DynamicProgrammingScheduler,
+    GreedyDensityScheduler,
+    RandomSearchScheduler,
+    SimulatedAnnealingScheduler,
+    WhaleOptimizationScheduler,
+)
+from repro.baselines.annealing import AnnealingParams
+from repro.baselines.base import greedy_feasible_start, random_feasible_start
+from repro.baselines.whale import WhaleParams
+from repro.core.exact import branch_and_bound_optimum
+
+from tests.conftest import random_instance
+
+ALL_SCHEDULERS = [
+    SimulatedAnnealingScheduler,
+    DynamicProgrammingScheduler,
+    WhaleOptimizationScheduler,
+    GreedyDensityScheduler,
+    RandomSearchScheduler,
+]
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return random_instance(20, seed=31)
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("scheduler_cls", ALL_SCHEDULERS)
+    def test_respects_capacity(self, instance, scheduler_cls):
+        result = scheduler_cls(seed=1).solve(instance, 400)
+        assert instance.weight(result.mask) <= instance.capacity
+
+    @pytest.mark.parametrize("scheduler_cls", ALL_SCHEDULERS)
+    def test_respects_n_min(self, instance, scheduler_cls):
+        result = scheduler_cls(seed=1).solve(instance, 400)
+        assert int(result.mask.sum()) >= instance.n_min
+
+    @pytest.mark.parametrize("scheduler_cls", ALL_SCHEDULERS)
+    def test_reported_utility_matches_mask(self, instance, scheduler_cls):
+        result = scheduler_cls(seed=1).solve(instance, 400)
+        assert result.utility == pytest.approx(instance.utility(result.mask))
+        assert result.weight == instance.weight(result.mask)
+        assert result.count == int(result.mask.sum())
+
+    @pytest.mark.parametrize("scheduler_cls", ALL_SCHEDULERS)
+    def test_deterministic_per_seed(self, instance, scheduler_cls):
+        a = scheduler_cls(seed=9).solve(instance, 300)
+        b = scheduler_cls(seed=9).solve(instance, 300)
+        assert a.utility == b.utility
+        assert np.array_equal(a.mask, b.mask)
+
+    @pytest.mark.parametrize("scheduler_cls", ALL_SCHEDULERS)
+    def test_trace_is_monotone_best_so_far(self, instance, scheduler_cls):
+        result = scheduler_cls(seed=1).solve(instance, 300)
+        diffs = np.diff(result.utility_trace)
+        assert (diffs >= -1e-9).all()
+
+    @pytest.mark.parametrize("scheduler_cls", ALL_SCHEDULERS)
+    def test_algorithm_name_set(self, instance, scheduler_cls):
+        result = scheduler_cls(seed=1).solve(instance, 50)
+        assert result.algorithm == scheduler_cls.name
+
+
+class TestStartingPoints:
+    def test_greedy_start_feasible(self, instance):
+        start = greedy_feasible_start(instance)
+        assert start.capacity_feasible
+        assert start.count >= instance.n_min
+
+    def test_random_start_feasible(self, instance):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            start = random_feasible_start(instance, rng)
+            assert start.capacity_feasible
+
+    def test_greedy_start_beats_random_on_average(self, instance):
+        rng = np.random.default_rng(0)
+        greedy = greedy_feasible_start(instance).utility
+        randoms = [random_feasible_start(instance, rng).utility for _ in range(20)]
+        assert greedy >= np.mean(randoms)
+
+
+class TestSimulatedAnnealing:
+    def test_near_optimal_on_small_instance(self):
+        instance = random_instance(14, seed=32)
+        optimum = branch_and_bound_optimum(instance)
+        result = SimulatedAnnealingScheduler(seed=1).solve(instance, 4_000)
+        assert result.utility >= 0.95 * optimum.utility
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            AnnealingParams(cooling_rate=1.5)
+        with pytest.raises(ValueError):
+            AnnealingParams(flip_probability=-0.1)
+
+    def test_improves_over_iterations(self, instance):
+        short = SimulatedAnnealingScheduler(seed=1).solve(instance, 50)
+        long = SimulatedAnnealingScheduler(seed=1).solve(instance, 4_000)
+        assert long.utility >= short.utility
+
+
+class TestDynamicProgramming:
+    def test_throughput_objective_fills_block(self, instance):
+        result = DynamicProgrammingScheduler(seed=1).solve(instance)
+        assert result.weight >= 0.9 * instance.capacity
+
+    def test_utility_objective_beats_throughput_objective_on_utility(self, instance):
+        throughput = DynamicProgrammingScheduler(seed=1, objective="throughput").solve(instance)
+        utility = DynamicProgrammingScheduler(seed=1, objective="utility").solve(instance)
+        assert utility.utility >= throughput.utility
+
+    def test_utility_objective_near_optimal(self):
+        instance = random_instance(14, seed=33)
+        optimum = branch_and_bound_optimum(instance)
+        result = DynamicProgrammingScheduler(seed=1, objective="utility", table_size=50_000).solve(instance)
+        # scaling granularity costs a little; n_min padding may cost more
+        assert result.utility >= 0.93 * optimum.utility
+
+    def test_invalid_objective_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicProgrammingScheduler(objective="speed")
+        with pytest.raises(ValueError):
+            DynamicProgrammingScheduler(table_size=5)
+
+    def test_one_shot_iterations(self, instance):
+        result = DynamicProgrammingScheduler(seed=1).solve(instance, budget_iterations=500)
+        assert result.iterations == 1
+        assert len(result.utility_trace) == 500  # flat line for shared axes
+
+
+class TestWhale:
+    def test_population_validation(self):
+        with pytest.raises(ValueError):
+            WhaleParams(population=1)
+
+    def test_improves_over_iterations(self, instance):
+        short = WhaleOptimizationScheduler(seed=1).solve(instance, 5)
+        long = WhaleOptimizationScheduler(seed=1).solve(instance, 300)
+        assert long.utility >= short.utility
+
+
+class TestOrderingShape:
+    """The paper's qualitative ordering on a mid-size epoch (Figs. 10-11)."""
+
+    def test_se_side_ordering_holds(self):
+        from repro.core.se import SEConfig, StochasticExploration
+
+        instance = random_instance(60, seed=34)
+        se = StochasticExploration(
+            SEConfig(num_threads=5, max_iterations=4_000, convergence_window=1_200, seed=1)
+        ).solve(instance)
+        sa = SimulatedAnnealingScheduler(seed=1).solve(instance, 4_000)
+        dp = DynamicProgrammingScheduler(seed=1).solve(instance)
+        woa = WhaleOptimizationScheduler(seed=1).solve(instance, 1_000)
+        # SE competitive with SA (within 2%), both above WOA; DP blind to age.
+        assert se.best_utility >= 0.98 * sa.utility
+        assert se.best_utility >= woa.utility
+        assert se.best_utility >= dp.utility

@@ -1,0 +1,121 @@
+"""Tests for blocks, the root chain, and epoch randomness."""
+
+import pytest
+
+from repro.chain.blocks import (
+    GENESIS_HASH,
+    FinalBlock,
+    RootChain,
+    ShardBlock,
+    compute_final_hash,
+)
+from repro.chain.randomness import (
+    GENESIS_RANDOMNESS,
+    combine_shares,
+    member_share,
+    refresh_randomness,
+)
+
+import numpy as np
+
+
+class TestShardBlock:
+    def test_two_phase_latency_is_sum(self):
+        block = ShardBlock(committee_id=1, epoch=0, tx_count=10,
+                           formation_latency=600.0, consensus_latency=50.0)
+        assert block.two_phase_latency == pytest.approx(650.0)
+        assert block.latency == block.two_phase_latency  # core-protocol alias
+        assert block.shard_id == 1
+
+    def test_hash_autofilled_and_stable(self):
+        a = ShardBlock(1, 0, 10, 1.0, 2.0)
+        b = ShardBlock(1, 0, 10, 5.0, 6.0)  # latencies not in the hash
+        assert a.block_hash == b.block_hash
+        c = ShardBlock(1, 0, 11, 1.0, 2.0)
+        assert a.block_hash != c.block_hash
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            ShardBlock(1, 0, -1, 1.0, 2.0)
+        with pytest.raises(ValueError):
+            ShardBlock(1, 0, 1, -1.0, 2.0)
+
+
+class TestRootChain:
+    def _block(self, chain, txs=100, shards=("a", "b")):
+        return FinalBlock(
+            epoch=chain.height,
+            parent_hash=chain.head_hash,
+            permitted_shards=tuple(sorted(shards)),
+            total_txs=txs,
+            ddl=100.0,
+            randomness="r",
+        )
+
+    def test_append_and_verify(self):
+        chain = RootChain()
+        assert chain.head_hash == GENESIS_HASH
+        for _ in range(3):
+            chain.append(self._block(chain))
+        assert chain.height == 3
+        assert chain.verify()
+        assert chain.total_txs == 300
+
+    def test_wrong_parent_rejected(self):
+        chain = RootChain()
+        chain.append(self._block(chain))
+        orphan = FinalBlock(epoch=1, parent_hash=GENESIS_HASH,
+                            permitted_shards=("a",), total_txs=1, ddl=1.0, randomness="r")
+        with pytest.raises(ValueError):
+            chain.append(orphan)
+
+    def test_wrong_epoch_rejected(self):
+        chain = RootChain()
+        block = FinalBlock(epoch=5, parent_hash=chain.head_hash,
+                           permitted_shards=("a",), total_txs=1, ddl=1.0, randomness="r")
+        with pytest.raises(ValueError):
+            chain.append(block)
+
+    def test_tampered_hash_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            FinalBlock(epoch=0, parent_hash=GENESIS_HASH, permitted_shards=("a",),
+                       total_txs=1, ddl=1.0, randomness="r", block_hash="0" * 64)
+
+    def test_verify_detects_tampering(self):
+        chain = RootChain()
+        chain.append(self._block(chain))
+        chain.append(self._block(chain))
+        # Bypass append-time checks by splicing a forged middle block.
+        forged = FinalBlock(epoch=0, parent_hash=GENESIS_HASH,
+                            permitted_shards=("evil",), total_txs=999, ddl=1.0, randomness="r")
+        chain.blocks[0] = forged
+        assert not chain.verify()
+
+    def test_hash_binds_contents(self):
+        h1 = compute_final_hash(0, "p", ("a",), 10, "r")
+        h2 = compute_final_hash(0, "p", ("a",), 11, "r")
+        assert h1 != h2
+
+
+class TestRandomness:
+    def test_combine_order_independent(self):
+        shares = ["s1", "s2", "s3"]
+        assert combine_shares(shares) == combine_shares(list(reversed(shares)))
+
+    def test_combine_sensitive_to_any_share(self):
+        assert combine_shares(["a", "b"]) != combine_shares(["a", "c"])
+
+    def test_empty_shares_rejected(self):
+        with pytest.raises(ValueError):
+            combine_shares([])
+
+    def test_member_share_random_per_member(self):
+        rng = np.random.default_rng(0)
+        assert member_share(0, 1, rng) != member_share(0, 2, rng)
+
+    def test_refresh_changes_every_epoch(self):
+        rng = np.random.default_rng(0)
+        first = refresh_randomness(0, [1, 2, 3], rng)
+        second = refresh_randomness(1, [1, 2, 3], rng)
+        assert first != second != GENESIS_RANDOMNESS
+        assert len(first) == 64

@@ -1,0 +1,136 @@
+"""Tests for transactions, the mempool, and TX-to-shard partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.elastico import ElasticoSimulation
+from repro.chain.mempool import (
+    Mempool,
+    Transaction,
+    assign_to_committees,
+    synthetic_transactions,
+    verify_disjoint,
+)
+from repro.chain.params import ChainParams
+from repro.core.problem import MVComConfig
+
+
+class TestTransaction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Transaction(tx_id="")
+        with pytest.raises(ValueError):
+            Transaction(tx_id="a", fee=-1)
+        with pytest.raises(ValueError):
+            Transaction(tx_id="a", arrival_time=-1)
+
+    def test_committee_assignment_stable(self):
+        tx = Transaction(tx_id="abc")
+        assert tx.committee_of(10) == tx.committee_of(10)
+        with pytest.raises(ValueError):
+            tx.committee_of(0)
+
+    def test_assignment_roughly_uniform(self):
+        rng = np.random.default_rng(0)
+        txs = synthetic_transactions(5_000, rng)
+        counts = np.zeros(10, dtype=int)
+        for tx in txs:
+            counts[tx.committee_of(10)] += 1
+        assert counts.min() > 0.7 * counts.mean()
+        assert counts.max() < 1.3 * counts.mean()
+
+
+class TestMempool:
+    def test_add_and_len(self):
+        pool = Mempool()
+        pool.add_many(synthetic_transactions(10, np.random.default_rng(1)))
+        assert len(pool) == 10
+
+    def test_duplicate_rejected(self):
+        pool = Mempool()
+        pool.add(Transaction(tx_id="x"))
+        with pytest.raises(ValueError):
+            pool.add(Transaction(tx_id="x"))
+
+    def test_remove_committed(self):
+        pool = Mempool()
+        pool.add_many([Transaction(tx_id=f"t{i}") for i in range(5)])
+        removed = pool.remove_committed(["t1", "t3", "missing"])
+        assert removed == 2
+        assert len(pool) == 3
+
+    def test_total_fees(self):
+        pool = Mempool()
+        pool.add(Transaction(tx_id="a", fee=2.0))
+        pool.add(Transaction(tx_id="b", fee=3.0))
+        assert pool.total_fees == pytest.approx(5.0)
+
+
+class TestAssignment:
+    def test_every_committee_present_and_disjoint(self):
+        pool = Mempool()
+        pool.add_many(synthetic_transactions(1_000, np.random.default_rng(2)))
+        shards = assign_to_committees(pool, 8)
+        assert set(shards) == set(range(8))
+        assert verify_disjoint(list(shards.values())) is None
+        assert sum(len(s) for s in shards.values()) == 1_000
+
+    def test_assignment_deterministic(self):
+        pool = Mempool()
+        pool.add_many(synthetic_transactions(200, np.random.default_rng(3)))
+        assert assign_to_committees(pool, 5) == assign_to_committees(pool, 5)
+
+    def test_order_by_arrival(self):
+        pool = Mempool()
+        pool.add(Transaction(tx_id="late", arrival_time=50.0))
+        pool.add(Transaction(tx_id="early", arrival_time=1.0))
+        shards = assign_to_committees(pool, 1)
+        assert shards[0] == ("early", "late")
+
+    def test_verify_disjoint_catches_duplicates(self):
+        assert verify_disjoint([("a", "b"), ("c", "a")]) == "a"
+        assert verify_disjoint([("a",), ("b",)]) is None
+
+
+@given(st.sets(st.text(alphabet="abcdef0123456789", min_size=4, max_size=12), min_size=1, max_size=60),
+       st.integers(min_value=1, max_value=16))
+@settings(max_examples=60, deadline=None)
+def test_property_partition_is_exact(tx_ids, num_committees):
+    """The hash-prefix partition is a true partition: disjoint and complete."""
+    pool = Mempool()
+    pool.add_many([Transaction(tx_id=tx_id) for tx_id in tx_ids])
+    shards = assign_to_committees(pool, num_committees)
+    flat = [tx_id for shard in shards.values() for tx_id in shard]
+    assert sorted(flat) == sorted(tx_ids)
+    assert verify_disjoint(list(shards.values())) is None
+
+
+class TestMempoolDrivenEpoch:
+    def test_epoch_consumes_committed_transactions(self):
+        params = ChainParams(num_nodes=120, committee_size=8, seed=61)
+        simulation = ElasticoSimulation(
+            params, mvcom_config=MVComConfig(alpha=1.5, capacity=800)
+        )
+        pool = Mempool()
+        pool.add_many(synthetic_transactions(2_000, np.random.default_rng(4)))
+        before = len(pool)
+        outcome = simulation.run_epoch(mempool=pool)
+        assert outcome.final is not None
+        committed = outcome.final.permitted_txs
+        assert committed > 0
+        assert len(pool) == before - committed
+
+    def test_uncommitted_transactions_stay_for_next_epoch(self):
+        params = ChainParams(num_nodes=120, committee_size=8, seed=61)
+        simulation = ElasticoSimulation(
+            params, mvcom_config=MVComConfig(alpha=1.5, capacity=500)
+        )
+        pool = Mempool()
+        pool.add_many(synthetic_transactions(2_000, np.random.default_rng(4)))
+        first = simulation.run_epoch(mempool=pool)
+        remaining_after_first = len(pool)
+        second = simulation.run_epoch(mempool=pool)
+        assert second.final is not None
+        assert len(pool) == remaining_after_first - second.final.permitted_txs

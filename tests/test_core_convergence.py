@@ -1,0 +1,60 @@
+"""Tests for the convergence detector."""
+
+import pytest
+
+from repro.core.convergence import ConvergenceDetector
+
+
+def test_not_converged_while_improving():
+    detector = ConvergenceDetector(window=3)
+    for utility in (1.0, 2.0, 3.0, 4.0, 5.0):
+        assert not detector.update(utility)
+
+
+def test_converges_after_window_stale_iterations():
+    detector = ConvergenceDetector(window=3)
+    detector.update(10.0)
+    assert not detector.update(10.0)
+    assert not detector.update(10.0)
+    assert detector.update(10.0)
+
+
+def test_improvement_resets_window():
+    detector = ConvergenceDetector(window=3)
+    detector.update(1.0)
+    detector.update(1.0)
+    detector.update(1.0)
+    detector.update(2.0)  # improvement: window restarts
+    assert not detector.converged
+    assert detector.stale_iterations == 0
+
+
+def test_tolerance_filters_noise():
+    detector = ConvergenceDetector(window=2, tolerance=0.5)
+    detector.update(1.0)
+    detector.update(1.3)  # within tolerance: counts as stale
+    assert detector.update(1.4)
+
+
+def test_decreasing_utility_counts_as_stale():
+    detector = ConvergenceDetector(window=2)
+    detector.update(5.0)
+    detector.update(4.0)
+    assert detector.update(3.0)
+    assert detector.best == 5.0
+
+
+def test_reset_restarts_detection():
+    detector = ConvergenceDetector(window=2)
+    detector.update(5.0)
+    detector.update(5.0)
+    detector.reset()
+    assert not detector.converged
+    assert detector.best == float("-inf")
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        ConvergenceDetector(window=0)
+    with pytest.raises(ValueError):
+        ConvergenceDetector(window=5, tolerance=-1.0)

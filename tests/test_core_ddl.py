@@ -1,0 +1,98 @@
+"""Tests for DDL policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.ddl import BudgetedAge, DdlDecision, FixedTimeout, PercentileArrival
+
+LATENCIES = [100.0, 300.0, 200.0, 900.0, 500.0]
+TX_COUNTS = [1_000, 800, 1_200, 2_000, 600]
+
+
+class TestDecision:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DdlDecision(arrived_indices=(), ddl=1.0)
+        with pytest.raises(ValueError):
+            DdlDecision(arrived_indices=(0,), ddl=-1.0)
+
+
+class TestPercentileArrival:
+    def test_default_is_nmax(self):
+        assert PercentileArrival().fraction == 0.8
+
+    def test_admits_fastest_fraction(self):
+        decision = PercentileArrival(fraction=0.6).decide(LATENCIES, TX_COUNTS)
+        assert len(decision.arrived_indices) == 3
+        assert set(decision.arrived_indices) == {0, 2, 1}  # latencies 100, 200, 300
+        assert decision.ddl == 300.0
+
+    def test_full_fraction_admits_all(self):
+        decision = PercentileArrival(fraction=1.0).decide(LATENCIES, TX_COUNTS)
+        assert len(decision.arrived_indices) == 5
+        assert decision.ddl == 900.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PercentileArrival(fraction=0.0)
+        with pytest.raises(ValueError):
+            PercentileArrival().decide([], [])
+        with pytest.raises(ValueError):
+            PercentileArrival().decide([1.0], [1, 2])
+
+
+class TestFixedTimeout:
+    def test_admits_by_deadline(self):
+        decision = FixedTimeout(timeout_s=350.0).decide(LATENCIES, TX_COUNTS)
+        assert set(decision.arrived_indices) == {0, 1, 2}
+        assert decision.ddl == 350.0
+
+    def test_waits_for_at_least_one(self):
+        decision = FixedTimeout(timeout_s=10.0).decide(LATENCIES, TX_COUNTS)
+        assert decision.arrived_indices == (0,)
+        assert decision.ddl == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedTimeout(timeout_s=0.0)
+
+
+class TestBudgetedAge:
+    def test_stops_before_expensive_straggler(self):
+        # Waiting for index 3 (l=900) from 500 costs 400s x 4 waiting
+        # committees = 1600 > alpha * 2000 = 3000? No: 1600 < 3000 -> admit.
+        # With alpha = 0.5: gain 1000 < 1600 -> stop before it.
+        decision = BudgetedAge(alpha=0.5).decide(LATENCIES, TX_COUNTS)
+        assert 3 not in decision.arrived_indices
+        generous = BudgetedAge(alpha=5.0).decide(LATENCIES, TX_COUNTS)
+        assert 3 in generous.arrived_indices
+
+    def test_larger_alpha_admits_weakly_more(self):
+        small = BudgetedAge(alpha=0.2).decide(LATENCIES, TX_COUNTS)
+        large = BudgetedAge(alpha=10.0).decide(LATENCIES, TX_COUNTS)
+        assert set(small.arrived_indices) <= set(large.arrived_indices)
+
+    def test_single_committee_input(self):
+        decision = BudgetedAge().decide([42.0], [10])
+        assert decision.arrived_indices == (0,)
+        assert decision.ddl == 42.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BudgetedAge(alpha=0.0)
+
+
+class TestPoliciesOnWorkload:
+    def test_policies_give_different_windows(self):
+        rng = np.random.default_rng(0)
+        latencies = rng.gamma(4.0, 150.0, size=60).tolist()
+        tx_counts = rng.integers(500, 2_500, size=60).tolist()
+        nmax = PercentileArrival(0.8).decide(latencies, tx_counts)
+        budget = BudgetedAge(alpha=1.5).decide(latencies, tx_counts)
+        timeout = FixedTimeout(timeout_s=float(np.median(latencies))).decide(latencies, tx_counts)
+        sizes = {len(nmax.arrived_indices), len(budget.arrived_indices), len(timeout.arrived_indices)}
+        assert len(sizes) >= 2  # genuinely different behaviour
+        for decision in (nmax, budget, timeout):
+            # Arrivals are always the fastest prefix of the sorted order.
+            arrived_latencies = [latencies[i] for i in decision.arrived_indices]
+            assert max(arrived_latencies) <= decision.ddl + 1e-9

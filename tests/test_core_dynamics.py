@@ -1,0 +1,93 @@
+"""Tests for the dynamic event schedule."""
+
+import pytest
+
+from repro.core.dynamics import (
+    CommitteeEvent,
+    DynamicSchedule,
+    EventKind,
+    consecutive_join_schedule,
+    fail_and_recover_schedule,
+)
+
+
+class TestEvents:
+    def test_join_requires_features(self):
+        with pytest.raises(ValueError):
+            CommitteeEvent(iteration=1, kind=EventKind.JOIN, shard_id=1)
+        with pytest.raises(ValueError):
+            CommitteeEvent(iteration=1, kind=EventKind.JOIN, shard_id=1, tx_count=-5, latency=1.0)
+
+    def test_leave_needs_no_features(self):
+        event = CommitteeEvent(iteration=1, kind=EventKind.LEAVE, shard_id=1)
+        assert event.tx_count is None
+
+    def test_negative_iteration_rejected(self):
+        with pytest.raises(ValueError):
+            CommitteeEvent(iteration=-1, kind=EventKind.LEAVE, shard_id=1)
+
+
+class TestSchedule:
+    def _schedule(self):
+        return DynamicSchedule(events=[
+            CommitteeEvent(iteration=30, kind=EventKind.LEAVE, shard_id=2),
+            CommitteeEvent(iteration=10, kind=EventKind.LEAVE, shard_id=1),
+            CommitteeEvent(iteration=20, kind=EventKind.JOIN, shard_id=3, tx_count=5, latency=1.0),
+        ])
+
+    def test_events_sorted_by_iteration(self):
+        schedule = self._schedule()
+        assert [e.iteration for e in schedule] == [10, 20, 30]
+
+    def test_due_pops_in_order(self):
+        schedule = self._schedule()
+        assert [e.shard_id for e in schedule.due(15)] == [1]
+        assert [e.shard_id for e in schedule.due(25)] == [3]
+        assert not schedule.exhausted
+        assert [e.shard_id for e in schedule.due(100)] == [2]
+        assert schedule.exhausted
+
+    def test_due_returns_empty_before_first(self):
+        schedule = self._schedule()
+        assert schedule.due(5) == []
+        assert schedule.next_iteration == 10
+
+    def test_reset_replays(self):
+        schedule = self._schedule()
+        schedule.due(100)
+        schedule.reset()
+        assert len(schedule.due(100)) == 3
+
+    def test_multiple_events_same_iteration(self):
+        schedule = DynamicSchedule(events=[
+            CommitteeEvent(iteration=5, kind=EventKind.LEAVE, shard_id=1),
+            CommitteeEvent(iteration=5, kind=EventKind.LEAVE, shard_id=2),
+        ])
+        assert len(schedule.due(5)) == 2
+
+
+class TestBuilders:
+    def test_fail_and_recover(self):
+        schedule = fail_and_recover_schedule(
+            shard_id=4, tx_count=100, latency=10.0, fail_at=50, recover_at=120
+        )
+        kinds = [e.kind for e in schedule]
+        assert kinds == [EventKind.LEAVE, EventKind.JOIN]
+        assert schedule.events[1].tx_count == 100
+
+    def test_recover_before_fail_rejected(self):
+        with pytest.raises(ValueError):
+            fail_and_recover_schedule(1, 1, 1.0, fail_at=100, recover_at=100)
+
+    def test_consecutive_joins_spacing(self):
+        schedule = consecutive_join_schedule(
+            arrivals=[(1, 10, 1.0), (2, 20, 2.0), (3, 30, 3.0)],
+            start_iteration=100,
+            spacing=50,
+        )
+        assert [e.iteration for e in schedule] == [100, 150, 200]
+        assert all(e.kind is EventKind.JOIN for e in schedule)
+
+    def test_zero_spacing_rejected(self):
+        with pytest.raises(ValueError):
+            consecutive_join_schedule([(1, 10, 1.0)], start_iteration=0, spacing=0)

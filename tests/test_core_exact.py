@@ -1,0 +1,88 @@
+"""Tests for the exact solvers (ground truth)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact import branch_and_bound_optimum, brute_force_optimum
+from repro.core.problem import EpochInstance, MVComConfig
+
+from tests.conftest import random_instance
+
+
+class TestBruteForce:
+    def test_finds_known_optimum(self, tiny_instance):
+        result = brute_force_optimum(tiny_instance)
+        assert result.utility == pytest.approx(tiny_instance.utility(result.mask))
+        assert tiny_instance.is_feasible(result.mask)
+
+    def test_respects_capacity(self, tiny_instance):
+        result = brute_force_optimum(tiny_instance)
+        assert result.weight <= tiny_instance.capacity
+
+    def test_respects_n_min(self):
+        # All values negative -> unconstrained optimum would be empty, but
+        # n_min forces two picks.
+        config = MVComConfig(alpha=0.001, capacity=10_000, n_min_fraction=0.5)
+        instance = EpochInstance([10, 20, 30, 40], [1.0, 2.0, 3.0, 1000.0], config)
+        assert (instance.values[:3] < 0).all()
+        result = brute_force_optimum(instance)
+        assert result.count >= instance.n_min == 2
+
+    def test_too_large_rejected(self):
+        instance = random_instance(30, seed=1)
+        with pytest.raises(ValueError):
+            brute_force_optimum(instance)
+
+    def test_infeasible_rejected(self):
+        config = MVComConfig(alpha=1.5, capacity=5)
+        instance = EpochInstance([100, 100], [1.0, 2.0], config)
+        # n_min relaxes to 0 here, so the empty set is the only candidate
+        result = brute_force_optimum(instance)
+        assert result.count == 0
+
+
+class TestBranchAndBound:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force(self, seed):
+        instance = random_instance(12, seed=seed)
+        exact = brute_force_optimum(instance)
+        bnb = branch_and_bound_optimum(instance)
+        assert bnb.utility == pytest.approx(exact.utility)
+        assert instance.is_feasible(bnb.mask)
+
+    def test_handles_medium_instances(self):
+        instance = random_instance(40, seed=3)
+        result = branch_and_bound_optimum(instance)
+        assert instance.is_feasible(result.mask)
+        assert result.utility == pytest.approx(instance.utility(result.mask))
+
+    def test_node_limit_raises(self):
+        instance = random_instance(40, seed=3)
+        with pytest.raises(RuntimeError):
+            branch_and_bound_optimum(instance, node_limit=5)
+
+    def test_result_as_solution(self, tiny_instance):
+        result = branch_and_bound_optimum(tiny_instance)
+        solution = result.as_solution(tiny_instance)
+        assert solution.utility == pytest.approx(result.utility)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=1, max_value=500),
+                  st.floats(min_value=0, max_value=1000, allow_nan=False)),
+        min_size=2, max_size=10,
+    ),
+    st.floats(min_value=0.5, max_value=5.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_bnb_equals_brute_force(shards, alpha):
+    tx_counts = [s[0] for s in shards]
+    latencies = [s[1] for s in shards]
+    config = MVComConfig(alpha=alpha, capacity=max(sum(tx_counts) // 2, 1))
+    instance = EpochInstance(tx_counts, latencies, config)
+    exact = brute_force_optimum(instance)
+    bnb = branch_and_bound_optimum(instance)
+    assert abs(bnb.utility - exact.utility) < 1e-6 * max(1.0, abs(exact.utility))

@@ -1,0 +1,102 @@
+"""Tests for Section V: committee-failure analysis (Lemma 4, Theorem 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.failure import (
+    analyze_failure,
+    space_sizes,
+    trimmed_mixing_parameters,
+    tv_distance_bound,
+)
+
+from tests.conftest import random_instance
+
+
+class TestSpaceSizes:
+    def test_powers_of_two(self):
+        sizes = space_sizes(10)
+        assert sizes.full == 1024
+        assert sizes.trimmed == 512
+        assert sizes.removed == 512
+
+    def test_lemma4_removed_fraction_is_half(self):
+        """|F\\G| / |F| = 1/2, the heart of Lemma 4's proof."""
+        for n in (1, 3, 8, 20):
+            assert space_sizes(n).removed_fraction == 0.5
+
+    def test_zero_committees_rejected(self):
+        with pytest.raises(ValueError):
+            space_sizes(0)
+
+    def test_bound_constant(self):
+        assert tv_distance_bound() == 0.5
+
+
+class TestAnalyzeFailure:
+    @pytest.mark.parametrize("beta", [1e-4, 1e-3, 1e-2])
+    @pytest.mark.parametrize("failed", [0, 3, 7])
+    def test_lemma4_tv_bound_holds(self, beta, failed):
+        instance = random_instance(8, seed=21)
+        analysis = analyze_failure(instance, failed, beta)
+        assert analysis.tv_within_bound
+        assert 0.0 <= analysis.tv_distance <= 0.5 + 1e-12
+
+    @pytest.mark.parametrize("beta", [1e-4, 1e-3, 1e-2])
+    def test_theorem2_perturbation_bound_holds(self, beta):
+        instance = random_instance(8, seed=22)
+        for failed in range(instance.num_shards):
+            analysis = analyze_failure(instance, failed, beta)
+            assert analysis.perturbation_within_bound
+
+    def test_tv_approaches_half_for_large_beta(self):
+        """With sharp beta all mass sits on the best state; if the failed
+        committee is in it, the trimmed chain loses half the mass exactly."""
+        instance = random_instance(8, seed=23)
+        best_state_member = int(np.argmax(instance.values))
+        analysis = analyze_failure(instance, best_state_member, beta=0.5)
+        assert analysis.tv_distance == pytest.approx(0.5, abs=1e-3)
+
+    def test_uniform_limit_beta_to_zero(self):
+        """At beta -> 0 the Gibbs distribution is uniform: the stranded mass
+        is exactly |F\\G|/|F| = 1/2 (the paper's LLN evaluation) and the
+        literal TV distance is half of that."""
+        instance = random_instance(6, seed=24)
+        analysis = analyze_failure(instance, 0, beta=1e-8)
+        assert analysis.stranded_mass == pytest.approx(0.5, abs=1e-4)
+        assert analysis.tv_distance == pytest.approx(0.25, abs=1e-4)
+
+    def test_stranded_mass_can_exceed_half_at_sharp_beta(self):
+        """The LLN step of Lemma 4 is a small-beta approximation: when beta
+        is sharp and the failed committee sits in the top solutions, more
+        than half the Gibbs mass is stranded (documented in EXPERIMENTS.md).
+        The literal TV distance still respects the 1/2 bound."""
+        instance = random_instance(8, seed=23)
+        best_member = int(np.argmax(instance.values))
+        analysis = analyze_failure(instance, best_member, beta=0.5)
+        assert analysis.stranded_mass > 0.5
+        assert analysis.tv_distance <= 0.5 + 1e-12
+
+    def test_trimmed_best_not_above_full_best(self):
+        instance = random_instance(8, seed=25)
+        full_best = float(np.sum(instance.values[instance.values > 0]))
+        analysis = analyze_failure(instance, 0, beta=1e-3)
+        assert analysis.trimmed_best_utility <= full_best + 1e-9
+
+    def test_invalid_position_rejected(self):
+        instance = random_instance(6, seed=26)
+        with pytest.raises(ValueError):
+            analyze_failure(instance, 6, beta=1e-3)
+
+    def test_large_instance_rejected(self):
+        instance = random_instance(20, seed=27)
+        with pytest.raises(ValueError):
+            analyze_failure(instance, 0, beta=1e-3)
+
+
+class TestRemark3:
+    def test_trimmed_mixing_parameters(self):
+        params = trimmed_mixing_parameters(10)
+        assert params["eta"] == 2**9
+        assert params["num_shards"] == 9
+        assert params["log2_eta"] == pytest.approx(9.0)

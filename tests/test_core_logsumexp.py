@@ -1,0 +1,108 @@
+"""Tests for the log-sum-exp approximation (Section IV-B, Remark 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.logsumexp import (
+    approximation_loss_bound,
+    entropy,
+    expected_utility,
+    log_softmax,
+    optimality_gap,
+    stationary_distribution,
+)
+
+
+class TestStationaryDistribution:
+    def test_sums_to_one(self):
+        probabilities = stationary_distribution(2.0, [1.0, 2.0, 3.0])
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_monotone_in_utility(self):
+        probabilities = stationary_distribution(2.0, [1.0, 2.0, 3.0])
+        assert probabilities[0] < probabilities[1] < probabilities[2]
+
+    def test_matches_gibbs_formula_directly(self):
+        """p*_f = exp(beta U_f) / sum exp(beta U_f') -- eq. (6)."""
+        utilities = np.array([0.3, 1.1, -0.4])
+        beta = 1.7
+        weights = np.exp(beta * utilities)
+        expected = weights / weights.sum()
+        assert np.allclose(stationary_distribution(beta, utilities), expected)
+
+    def test_numerically_stable_for_huge_utilities(self):
+        """The paper-scale case: beta*U ~ 1e6 would overflow naive exp."""
+        probabilities = stationary_distribution(2.0, [500_000.0, 499_999.0, 100.0])
+        assert np.isfinite(probabilities).all()
+        assert probabilities.sum() == pytest.approx(1.0)
+        assert probabilities[0] > probabilities[1] > probabilities[2]
+
+    def test_uniform_for_equal_utilities(self):
+        probabilities = stationary_distribution(3.0, [5.0] * 4)
+        assert np.allclose(probabilities, 0.25)
+
+    def test_concentrates_as_beta_grows(self):
+        spread = stationary_distribution(0.1, [1.0, 2.0])
+        sharp = stationary_distribution(10.0, [1.0, 2.0])
+        assert sharp[1] > spread[1]
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            stationary_distribution(0.0, [1.0])
+        with pytest.raises(ValueError):
+            stationary_distribution(1.0, [])
+
+
+class TestApproximationBound:
+    def test_remark1_bound_formula(self):
+        assert approximation_loss_bound(2.0, 8) == pytest.approx(np.log(8) / 2.0)
+
+    def test_gap_respects_bound_random_instances(self):
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            utilities = rng.normal(0, 10, size=rng.integers(2, 40))
+            beta = float(rng.uniform(0.05, 5.0))
+            gap = optimality_gap(beta, utilities)
+            assert gap <= approximation_loss_bound(beta, len(utilities)) + 1e-9
+            assert gap >= -1e-9
+
+    def test_gap_shrinks_with_beta(self):
+        utilities = [0.0, 1.0, 2.0, 3.0]
+        gaps = [optimality_gap(beta, utilities) for beta in (0.5, 1.0, 2.0, 4.0)]
+        assert gaps == sorted(gaps, reverse=True)
+
+    def test_expected_utility_below_max(self):
+        utilities = [1.0, 5.0, 3.0]
+        assert expected_utility(1.0, utilities) <= 5.0
+
+
+class TestEntropy:
+    def test_uniform_maximises(self):
+        assert entropy([0.25] * 4) == pytest.approx(np.log(4))
+
+    def test_degenerate_is_zero(self):
+        assert entropy([1.0, 0.0, 0.0]) == 0.0
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ValueError):
+            entropy([-0.1, 1.1])
+
+    def test_log_softmax_consistency(self):
+        log_p = log_softmax(2.0, [1.0, 2.0])
+        assert np.allclose(np.exp(log_p), stationary_distribution(2.0, [1.0, 2.0]))
+
+    def test_gibbs_maximises_free_energy(self):
+        """The Gibbs distribution maximises E[U] + H/beta over distributions.
+
+        This is the variational fact Remark 1 rests on; check against random
+        competitor distributions.
+        """
+        rng = np.random.default_rng(1)
+        utilities = rng.normal(0, 3, size=10)
+        beta = 1.3
+        gibbs = stationary_distribution(beta, utilities)
+        objective = gibbs @ utilities + entropy(gibbs) / beta
+        for _ in range(50):
+            competitor = rng.dirichlet(np.ones(10))
+            competitor_objective = competitor @ utilities + entropy(competitor) / beta
+            assert competitor_objective <= objective + 1e-9

@@ -1,0 +1,139 @@
+"""Tests for the designed Markov chain (Section IV-C, Lemmas 2-3, Theorem 1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.markov import (
+    are_neighbors,
+    build_chain,
+    detailed_balance_residual,
+    empirical_mixing_time,
+    enumerate_states,
+    is_irreducible,
+    mixing_time_lower_bound,
+    mixing_time_upper_bound,
+    state_utility,
+    stationary_from_generator,
+    total_variation,
+    transition_rate,
+)
+from repro.core.problem import EpochInstance, MVComConfig
+
+BETA = 0.001  # small beta keeps explicit rate matrices well-conditioned
+
+
+@pytest.fixture
+def chain_instance():
+    config = MVComConfig(alpha=1.5, capacity=6_000, n_min_fraction=0.2)
+    return EpochInstance(
+        tx_counts=[1_000, 2_000, 1_500, 800, 2_500, 1_200, 900],
+        latencies=[600.0, 700.0, 650.0, 900.0, 500.0, 820.0, 750.0],
+        config=config,
+    )
+
+
+class TestStateSpace:
+    def test_enumeration_respects_capacity(self, chain_instance):
+        states = enumerate_states(chain_instance, 3)
+        for state in states:
+            assert chain_instance.tx_counts[list(state)].sum() <= chain_instance.capacity
+
+    def test_enumeration_counts(self, chain_instance):
+        # All 2-subsets are capacity-feasible except those exceeding 6000:
+        states_2 = enumerate_states(chain_instance, 2)
+        assert len(states_2) == 21  # C(7,2), every pair fits (max 4500)
+
+    def test_out_of_range_cardinality_rejected(self, chain_instance):
+        with pytest.raises(ValueError):
+            enumerate_states(chain_instance, 8)
+
+    def test_neighbors_are_single_swaps(self):
+        assert are_neighbors((0, 1), (0, 2))
+        assert not are_neighbors((0, 1), (2, 3))     # two swaps apart
+        assert not are_neighbors((0, 1), (0, 1, 2))  # different cardinality
+        assert not are_neighbors((0, 1), (0, 1))     # identical
+
+    def test_state_utility_matches_instance(self, chain_instance):
+        state = (0, 4)
+        assert state_utility(chain_instance, state) == pytest.approx(
+            float(chain_instance.values[[0, 4]].sum())
+        )
+
+
+class TestTransitionRates:
+    def test_eq10_formula(self):
+        rate = transition_rate(10.0, 12.0, beta=2.0, tau=0.5)
+        assert rate == pytest.approx(math.exp(-0.5 + 1.0 * 2.0))
+
+    def test_uphill_faster_than_downhill(self):
+        assert transition_rate(0.0, 1.0, 2.0, 0.0) > transition_rate(1.0, 0.0, 2.0, 0.0)
+
+    def test_rate_product_symmetry(self):
+        """q_ff' * q_f'f = exp(-2 tau): the skew cancels, as in Lemma 3."""
+        forward = transition_rate(3.0, 7.0, 1.0, 0.2)
+        backward = transition_rate(7.0, 3.0, 1.0, 0.2)
+        assert forward * backward == pytest.approx(math.exp(-0.4))
+
+
+class TestChainStructure:
+    def test_generator_rows_sum_to_zero(self, chain_instance):
+        chain = build_chain(chain_instance, 3, beta=BETA)
+        assert np.allclose(chain.generator.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_lemma2_irreducible(self, chain_instance):
+        for cardinality in (1, 2, 3):
+            chain = build_chain(chain_instance, cardinality, beta=BETA)
+            assert is_irreducible(chain)
+
+    def test_lemma3_detailed_balance(self, chain_instance):
+        chain = build_chain(chain_instance, 3, beta=BETA)
+        assert detailed_balance_residual(chain) < 1e-10
+
+    def test_stationary_solves_global_balance(self, chain_instance):
+        """pi Q = 0 solved numerically equals the Gibbs distribution (eq. 6)."""
+        chain = build_chain(chain_instance, 2, beta=BETA)
+        numeric = stationary_from_generator(chain)
+        gibbs = chain.stationary()
+        assert total_variation(numeric, gibbs) < 1e-8
+
+    def test_empty_cardinality_rejected_when_infeasible(self):
+        config = MVComConfig(alpha=1.5, capacity=10)
+        instance = EpochInstance([100, 100], [1.0, 2.0], config)
+        with pytest.raises(ValueError):
+            build_chain(instance, 1, beta=BETA)
+
+
+class TestMixingTime:
+    def test_empirical_mixing_within_theorem1_bounds(self, chain_instance):
+        epsilon = 0.05
+        chain = build_chain(chain_instance, 3, beta=BETA)
+        u_max, u_min = float(chain.utilities.max()), float(chain.utilities.min())
+        measured = empirical_mixing_time(chain, epsilon)
+        lower = mixing_time_lower_bound(chain_instance.num_shards, BETA, 0.0, u_max, u_min, epsilon)
+        upper = mixing_time_upper_bound(chain_instance.num_shards, BETA, 0.0, u_max, u_min, epsilon)
+        assert lower <= measured <= upper
+
+    def test_mixing_slows_as_beta_grows(self, chain_instance):
+        fast = empirical_mixing_time(build_chain(chain_instance, 3, beta=BETA / 4), 0.05)
+        slow = empirical_mixing_time(build_chain(chain_instance, 3, beta=BETA * 4), 0.05)
+        assert slow >= fast
+
+    def test_mixing_grows_as_epsilon_shrinks(self, chain_instance):
+        chain = build_chain(chain_instance, 3, beta=BETA)
+        loose = empirical_mixing_time(chain, 0.2)
+        tight = empirical_mixing_time(chain, 0.02)
+        assert tight >= loose
+
+    def test_bound_argument_validation(self):
+        with pytest.raises(ValueError):
+            mixing_time_lower_bound(1, 1.0, 0.0, 1.0, 0.0, 0.05)
+        with pytest.raises(ValueError):
+            mixing_time_upper_bound(5, -1.0, 0.0, 1.0, 0.0, 0.05)
+        with pytest.raises(ValueError):
+            mixing_time_lower_bound(5, 1.0, 0.0, 1.0, 0.0, 0.7)
+
+    def test_total_variation_basics(self):
+        assert total_variation([0.5, 0.5], [0.5, 0.5]) == 0.0
+        assert total_variation([1.0, 0.0], [0.0, 1.0]) == pytest.approx(1.0)

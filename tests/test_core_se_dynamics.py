@@ -1,0 +1,126 @@
+"""Tests for SE's online join/leave handling (Alg. 1 lines 9-12, Fig. 9)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dynamics import (
+    CommitteeEvent,
+    DynamicSchedule,
+    EventKind,
+    consecutive_join_schedule,
+    fail_and_recover_schedule,
+)
+from repro.core.se import SEConfig, StochasticExploration
+
+from tests.conftest import random_instance
+
+
+def solve(instance, schedule, **kwargs):
+    defaults = dict(num_threads=3, max_iterations=2_500, convergence_window=2_500, seed=2)
+    defaults.update(kwargs)
+    return StochasticExploration(SEConfig(**defaults)).solve(instance, schedule=schedule)
+
+
+class TestLeave:
+    def test_failed_committee_never_in_final_solution(self):
+        instance = random_instance(20, seed=4)
+        victim = instance.shard_ids[int(np.argmax(instance.values))]
+        schedule = DynamicSchedule(events=[
+            CommitteeEvent(iteration=300, kind=EventKind.LEAVE, shard_id=victim)
+        ])
+        result = solve(instance, schedule)
+        final_ids = [
+            result.final_instance.shard_ids[i] for i in np.flatnonzero(result.best_mask)
+        ]
+        assert victim not in final_ids
+        assert result.final_instance.num_shards == 19
+
+    def test_leave_of_unknown_committee_tolerated(self):
+        instance = random_instance(12, seed=4)
+        schedule = DynamicSchedule(events=[
+            CommitteeEvent(iteration=100, kind=EventKind.LEAVE, shard_id=999)
+        ])
+        result = solve(instance, schedule)
+        assert result.final_instance.num_shards == 12
+
+    def test_result_feasible_after_leave(self):
+        instance = random_instance(20, seed=5)
+        victim = instance.shard_ids[0]
+        schedule = DynamicSchedule(events=[
+            CommitteeEvent(iteration=200, kind=EventKind.LEAVE, shard_id=victim)
+        ])
+        result = solve(instance, schedule)
+        final = result.final_instance
+        assert final.weight(result.best_mask) <= final.capacity
+
+    def test_events_recorded(self):
+        instance = random_instance(12, seed=6)
+        schedule = fail_and_recover_schedule(
+            shard_id=instance.shard_ids[0],
+            tx_count=int(instance.tx_counts[0]),
+            latency=float(instance.latencies[0]),
+            fail_at=200,
+            recover_at=600,
+        )
+        result = solve(instance, schedule)
+        assert [e.kind for e in result.events_applied] == [EventKind.LEAVE, EventKind.JOIN]
+
+
+class TestJoin:
+    def test_join_grows_instance(self):
+        instance = random_instance(10, seed=7)
+        schedule = DynamicSchedule(events=[
+            CommitteeEvent(iteration=100, kind=EventKind.JOIN, shard_id=500,
+                           tx_count=900, latency=float(instance.latencies.max()) + 50)
+        ])
+        result = solve(instance, schedule)
+        assert result.final_instance.num_shards == 11
+        assert 500 in result.final_instance.shard_ids
+
+    def test_duplicate_join_tolerated(self):
+        instance = random_instance(10, seed=7)
+        schedule = DynamicSchedule(events=[
+            CommitteeEvent(iteration=100, kind=EventKind.JOIN, shard_id=0,
+                           tx_count=900, latency=10.0)
+        ])
+        result = solve(instance, schedule)
+        assert result.final_instance.num_shards == 10
+
+    def test_consecutive_joins_all_applied(self):
+        instance = random_instance(10, seed=8)
+        arrivals = [(100 + k, 800 + k, float(instance.latencies.max()) + k) for k in range(6)]
+        schedule = consecutive_join_schedule(arrivals, start_iteration=100, spacing=150)
+        result = solve(instance, schedule)
+        assert len(result.events_applied) == 6
+        assert result.final_instance.num_shards == 16
+
+    def test_valuable_join_improves_utility(self):
+        """A huge fresh committee joining must raise the achievable utility."""
+        instance = random_instance(12, seed=9)
+        baseline = solve(instance, schedule=None)
+        schedule = DynamicSchedule(events=[
+            CommitteeEvent(iteration=200, kind=EventKind.JOIN, shard_id=777,
+                           tx_count=2_900, latency=float(instance.latencies.max()))
+        ])
+        result = solve(instance, schedule)
+        assert result.best_utility > baseline.best_utility
+
+    def test_fail_then_recover_roundtrip(self):
+        """Fig. 9a: after recovery the committee is selectable again."""
+        instance = random_instance(14, seed=10)
+        star = int(np.argmax(instance.values))
+        star_id = instance.shard_ids[star]
+        schedule = fail_and_recover_schedule(
+            shard_id=star_id,
+            tx_count=int(instance.tx_counts[star]),
+            latency=float(instance.latencies[star]),
+            fail_at=300,
+            recover_at=900,
+        )
+        result = solve(instance, schedule, max_iterations=3_000, convergence_window=3_000)
+        assert star_id in result.final_instance.shard_ids
+        final_ids = [
+            result.final_instance.shard_ids[i] for i in np.flatnonzero(result.best_mask)
+        ]
+        # The most valuable committee should be re-adopted after recovery.
+        assert star_id in final_ids

@@ -1,0 +1,151 @@
+"""Tests for the incremental Solution representation."""
+
+import numpy as np
+import pytest
+
+from repro.core.solution import Solution
+
+
+class TestConstruction:
+    def test_empty_by_default(self, tiny_instance):
+        solution = Solution(tiny_instance)
+        assert solution.count == 0
+        assert solution.weight == 0
+        assert solution.utility == 0.0
+
+    def test_from_mask(self, tiny_instance):
+        mask = np.array([True, False, True, False, False, False])
+        solution = Solution(tiny_instance, mask)
+        assert solution.count == 2
+        assert solution.weight == 2_500
+        assert solution.utility == pytest.approx(tiny_instance.values[[0, 2]].sum())
+
+    def test_from_indices(self, tiny_instance):
+        solution = Solution.from_indices(tiny_instance, [1, 4])
+        assert solution.selected_positions().tolist() == [1, 4]
+        assert solution.weight == 4_500
+
+    def test_mask_roundtrip(self, tiny_instance):
+        mask = np.array([True, False, True, False, True, False])
+        assert np.array_equal(Solution(tiny_instance, mask).mask, mask)
+
+    def test_wrong_mask_length_rejected(self, tiny_instance):
+        with pytest.raises(ValueError):
+            Solution(tiny_instance, np.zeros(4, dtype=bool))
+
+    def test_input_mask_not_aliased(self, tiny_instance):
+        mask = np.zeros(6, dtype=bool)
+        solution = Solution(tiny_instance, mask)
+        mask[0] = True
+        assert solution.count == 0
+
+
+class TestMoves:
+    def test_flip_in_updates_aggregates(self, tiny_instance):
+        solution = Solution(tiny_instance)
+        solution.flip(1)
+        assert solution.count == 1
+        assert solution.weight == 2_000
+        assert solution.utility == pytest.approx(float(tiny_instance.values[1]))
+
+    def test_flip_out_reverses(self, tiny_instance):
+        solution = Solution.from_indices(tiny_instance, [1])
+        solution.flip(1)
+        assert solution.count == 0
+        assert solution.utility == pytest.approx(0.0)
+
+    def test_swap_preserves_cardinality(self, tiny_instance):
+        solution = Solution.from_indices(tiny_instance, [0, 1])
+        solution.swap(1, 4)
+        assert solution.count == 2
+        assert sorted(solution.selected_positions().tolist()) == [0, 4]
+
+    def test_swap_requires_valid_pair(self, tiny_instance):
+        solution = Solution.from_indices(tiny_instance, [0])
+        with pytest.raises(ValueError):
+            solution.swap(1, 2)  # 1 not selected
+        with pytest.raises(ValueError):
+            solution.swap(0, 0)  # 0 already selected
+
+    def test_swap_delta_predicts_change(self, tiny_instance):
+        solution = Solution.from_indices(tiny_instance, [0, 1])
+        predicted = solution.swap_delta(1, 5)
+        before = solution.utility
+        solution.swap(1, 5)
+        assert solution.utility - before == pytest.approx(predicted)
+
+    def test_swap_weight_predicts_change(self, tiny_instance):
+        solution = Solution.from_indices(tiny_instance, [0, 1])
+        predicted = solution.swap_weight(1, 5)
+        solution.swap(1, 5)
+        assert solution.weight == predicted
+
+
+class TestFeasibility:
+    def test_capacity_feasible_boundary(self, tiny_instance):
+        solution = Solution.from_indices(tiny_instance, [1, 2, 0])  # 4500
+        assert solution.capacity_feasible
+        solution.flip(3)  # +800 -> 5300 > 5000
+        assert not solution.capacity_feasible
+
+    def test_feasible_requires_n_min(self, tiny_instance):
+        solution = Solution.from_indices(tiny_instance, [3])
+        assert solution.capacity_feasible and not solution.feasible
+        solution.flip(0)
+        assert solution.feasible
+
+
+class TestViewsAndIdentity:
+    def test_selected_ids_follow_shard_ids(self, tiny_instance):
+        instance = tiny_instance.without(0)  # ids (1,2,3,4,5)
+        solution = Solution.from_indices(instance, [0, 2])
+        assert solution.selected_ids() == (1, 3)
+
+    def test_unselected_positions_complement(self, tiny_instance):
+        solution = Solution.from_indices(tiny_instance, [0, 5])
+        assert solution.unselected_positions().tolist() == [1, 2, 3, 4]
+
+    def test_copy_is_independent(self, tiny_instance):
+        original = Solution.from_indices(tiny_instance, [0])
+        clone = original.copy()
+        clone.flip(1)
+        assert original.count == 1 and clone.count == 2
+
+    def test_equality_and_key(self, tiny_instance):
+        a = Solution.from_indices(tiny_instance, [0, 2])
+        b = Solution.from_indices(tiny_instance, [2, 0])
+        assert a == b
+        assert a.key() == b.key() == (1 << 0) + (1 << 2)
+
+    def test_recompute_matches_incremental(self, tiny_instance):
+        solution = Solution.from_indices(tiny_instance, [0, 1])
+        solution.swap(0, 3)
+        solution.flip(5)
+        utility, weight, count = solution.utility, solution.weight, solution.count
+        solution.recompute()
+        assert solution.utility == pytest.approx(utility)
+        assert solution.weight == weight
+        assert solution.count == count
+
+
+class TestRebase:
+    def test_rebase_preserves_surviving_ids(self, tiny_instance):
+        solution = Solution.from_indices(tiny_instance, [1, 3])
+        smaller = tiny_instance.without(0)
+        rebased = solution.rebase(smaller)
+        assert rebased.selected_ids() == (1, 3)
+
+    def test_rebase_drops_vanished_ids(self, tiny_instance):
+        solution = Solution.from_indices(tiny_instance, [0, 1])
+        smaller = tiny_instance.without(0)
+        rebased = solution.rebase(smaller)
+        assert rebased.selected_ids() == (1,)
+        assert rebased.count == 1
+
+    def test_rebase_onto_grown_instance(self, tiny_instance):
+        solution = Solution.from_indices(tiny_instance, [1])
+        bigger = tiny_instance.with_shard(10, tx_count=100, latency=950.0)
+        rebased = solution.rebase(bigger)
+        assert rebased.selected_ids() == (1,)
+        # values shifted with the new DDL; utility recomputed accordingly
+        assert rebased.utility == pytest.approx(float(bigger.values[1]))

@@ -1,0 +1,104 @@
+"""Tests for the spectral-gap analysis of the designed chain."""
+
+import numpy as np
+import pytest
+
+from repro.core.markov import build_chain, empirical_mixing_time
+from repro.core.problem import EpochInstance, MVComConfig
+from repro.core.spectral import (
+    conductance_lower_bound_on_gap,
+    mixing_time_spectral_bounds,
+    relaxation_time,
+    spectral_gap,
+    spectral_summary,
+)
+
+BETA = 0.001
+
+
+@pytest.fixture(scope="module")
+def chain():
+    config = MVComConfig(alpha=1.5, capacity=6_000, n_min_fraction=0.2)
+    instance = EpochInstance(
+        tx_counts=[1_000, 2_000, 1_500, 800, 2_500, 1_200],
+        latencies=[600.0, 700.0, 650.0, 900.0, 500.0, 820.0],
+        config=config,
+    )
+    return build_chain(instance, 3, beta=BETA)
+
+
+class TestSpectrum:
+    def test_smallest_eigenvalue_is_zero(self, chain):
+        summary = spectral_summary(chain)
+        assert summary.eigenvalues[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_gap_positive_for_irreducible_chain(self, chain):
+        assert spectral_gap(chain) > 0
+
+    def test_relaxation_time_is_inverse_gap(self, chain):
+        summary = spectral_summary(chain)
+        assert relaxation_time(chain) == pytest.approx(1.0 / summary.gap)
+
+    def test_all_eigenvalues_nonnegative(self, chain):
+        """-Q of a reversible generator is PSD."""
+        summary = spectral_summary(chain)
+        assert all(v >= -1e-9 for v in summary.eigenvalues)
+
+    def test_gap_shrinks_with_beta(self):
+        """Remark 2's slowdown, seen spectrally: sharper beta -> smaller gap
+        relative to the chain's overall rate scale."""
+        config = MVComConfig(alpha=1.5, capacity=6_000, n_min_fraction=0.2)
+        instance = EpochInstance(
+            tx_counts=[1_000, 2_000, 1_500, 800, 2_500, 1_200],
+            latencies=[600.0, 700.0, 650.0, 900.0, 500.0, 820.0],
+            config=config,
+        )
+        summaries = []
+        for beta in (BETA, BETA * 4):
+            c = build_chain(instance, 3, beta=beta)
+            rate_scale = float(np.max(-np.diag(c.generator)))
+            summaries.append(spectral_gap(c) / rate_scale)
+        assert summaries[1] < summaries[0]
+
+
+class TestMixingSandwich:
+    def test_spectral_bounds_contain_empirical_mixing(self, chain):
+        epsilon = 0.05
+        lower, upper = mixing_time_spectral_bounds(chain, epsilon)
+        measured = empirical_mixing_time(chain, epsilon)
+        assert lower <= measured <= upper
+
+    def test_spectral_upper_much_tighter_than_theorem1(self, chain):
+        from repro.core.markov import mixing_time_upper_bound
+
+        epsilon = 0.05
+        _, spectral_upper = mixing_time_spectral_bounds(chain, epsilon)
+        u_max, u_min = float(chain.utilities.max()), float(chain.utilities.min())
+        theorem1_upper = mixing_time_upper_bound(6, BETA, 0.0, u_max, u_min, epsilon)
+        assert spectral_upper < theorem1_upper
+
+    def test_epsilon_validation(self, chain):
+        with pytest.raises(ValueError):
+            mixing_time_spectral_bounds(chain, 0.7)
+
+
+class TestConductance:
+    def test_cheeger_lower_bounds_the_gap(self):
+        # Cardinality-2 chain: 15 states, small enough to enumerate cuts.
+        config = MVComConfig(alpha=1.5, capacity=6_000, n_min_fraction=0.2)
+        instance = EpochInstance(
+            tx_counts=[1_000, 2_000, 1_500, 800, 2_500, 1_200],
+            latencies=[600.0, 700.0, 650.0, 900.0, 500.0, 820.0],
+            config=config,
+        )
+        small_chain = build_chain(instance, 2, beta=BETA)
+        assert conductance_lower_bound_on_gap(small_chain) <= spectral_gap(small_chain) + 1e-12
+
+    def test_enumeration_cap(self):
+        config = MVComConfig(alpha=1.5, capacity=10**9)
+        instance = EpochInstance(
+            tx_counts=list(range(1, 25)), latencies=[float(i) for i in range(24)], config=config
+        )
+        big_chain = build_chain(instance, 1, beta=BETA)
+        with pytest.raises(ValueError):
+            conductance_lower_bound_on_gap(big_chain)

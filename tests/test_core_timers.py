@@ -1,0 +1,77 @@
+"""Tests for exponential timer sampling (eq. 8)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.timers import (
+    LOG_DURATION_MAX,
+    LOG_DURATION_MIN,
+    ArmedTimer,
+    clamped_exp,
+    log_timer_mean,
+    sample_log_timer,
+)
+
+
+class TestLogTimerMean:
+    def test_eq8_formula(self):
+        """log mean = tau - beta/2 * delta - log(|I_j| - n)."""
+        value = log_timer_mean(delta_utility=4.0, beta=2.0, tau=0.5, open_choices=10)
+        assert value == pytest.approx(0.5 - 4.0 - math.log(10))
+
+    def test_better_swap_means_shorter_timer(self):
+        improving = log_timer_mean(10.0, 2.0, 0.0, 5)
+        worsening = log_timer_mean(-10.0, 2.0, 0.0, 5)
+        assert improving < worsening
+
+    def test_more_choices_shorter_timer(self):
+        few = log_timer_mean(1.0, 2.0, 0.0, 2)
+        many = log_timer_mean(1.0, 2.0, 0.0, 200)
+        assert many < few
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            log_timer_mean(1.0, 2.0, 0.0, 0)
+        with pytest.raises(ValueError):
+            log_timer_mean(1.0, 0.0, 0.0, 5)
+
+
+class TestSampling:
+    def test_sample_mean_matches_eq8(self):
+        rng = np.random.default_rng(0)
+        log_mean = log_timer_mean(0.5, 2.0, 0.0, 4)
+        samples = [
+            math.exp(sample_log_timer(rng, 0.5, 2.0, 0.0, 4)) for _ in range(20_000)
+        ]
+        assert np.mean(samples) == pytest.approx(math.exp(log_mean), rel=0.05)
+
+    def test_samples_are_exponential(self):
+        """CV of an exponential is 1."""
+        rng = np.random.default_rng(1)
+        samples = np.array([
+            math.exp(sample_log_timer(rng, 0.0, 2.0, 0.0, 4)) for _ in range(20_000)
+        ])
+        assert np.std(samples) / np.mean(samples) == pytest.approx(1.0, rel=0.08)
+
+    def test_extreme_deltas_stay_finite_in_log_space(self):
+        rng = np.random.default_rng(2)
+        huge = sample_log_timer(rng, -1e6, 2.0, 0.0, 4)   # hugely worsening
+        tiny = sample_log_timer(rng, 1e6, 2.0, 0.0, 4)    # hugely improving
+        assert math.isfinite(huge) and math.isfinite(tiny)
+        assert huge > tiny
+
+
+class TestClamping:
+    def test_identity_in_range(self):
+        assert clamped_exp(1.0) == pytest.approx(math.e)
+
+    def test_clamps_extremes(self):
+        assert clamped_exp(1e9) == math.exp(LOG_DURATION_MAX)
+        assert clamped_exp(-1e9) == math.exp(LOG_DURATION_MIN)
+        assert clamped_exp(-1e9) > 0.0
+
+    def test_armed_timer_duration_uses_clamp(self):
+        timer = ArmedTimer(index_out=0, index_in=1, log_duration=200.0)
+        assert timer.duration == math.exp(LOG_DURATION_MAX)

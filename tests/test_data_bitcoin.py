@@ -1,0 +1,95 @@
+"""Tests for the synthetic Bitcoin trace."""
+
+import pytest
+
+from repro.data.bitcoin import (
+    JANUARY_2016_UNIX,
+    PAPER_BLOCK_COUNT,
+    PAPER_TOTAL_TXS,
+    BitcoinBlock,
+    BitcoinTraceConfig,
+    generate_bitcoin_trace,
+    trace_statistics,
+)
+
+
+@pytest.fixture(scope="module")
+def default_trace():
+    return generate_bitcoin_trace()
+
+
+class TestSchema:
+    def test_paper_block_count(self, default_trace):
+        assert len(default_trace) == PAPER_BLOCK_COUNT == 1378
+
+    def test_paper_total_txs_exact(self, default_trace):
+        assert sum(b.txs for b in default_trace) == PAPER_TOTAL_TXS == 1_500_000
+
+    def test_block_ids_sequential(self, default_trace):
+        assert [b.block_id for b in default_trace] == list(range(1378))
+
+    def test_hashes_unique_and_hex(self, default_trace):
+        hashes = {b.bhash for b in default_trace}
+        assert len(hashes) == len(default_trace)
+        assert all(len(b.bhash) == 64 for b in default_trace)
+        int(default_trace[0].bhash, 16)  # valid hex
+
+    def test_btimes_monotone_increasing(self, default_trace):
+        times = [b.btime for b in default_trace]
+        assert all(later >= earlier for earlier, later in zip(times, times[1:]))
+
+    def test_trace_starts_in_january_2016(self, default_trace):
+        assert default_trace[0].btime >= JANUARY_2016_UNIX
+
+    def test_every_block_nonempty(self, default_trace):
+        assert min(b.txs for b in default_trace) >= 1
+
+    def test_negative_txs_rejected(self):
+        with pytest.raises(ValueError):
+            BitcoinBlock(block_id=0, bhash="x", btime=0, txs=-1)
+
+
+class TestStatistics:
+    def test_mean_txs_near_real_january_2016(self, default_trace):
+        stats = trace_statistics(default_trace)
+        assert 1000 <= stats["mean_txs"] <= 1200  # real Jan-2016 mean ~1088
+
+    def test_interblock_spacing_near_600s(self, default_trace):
+        stats = trace_statistics(default_trace)
+        assert 450 <= stats["mean_interblock_seconds"] <= 750
+
+    def test_blocks_vary_in_size(self, default_trace):
+        stats = trace_statistics(default_trace)
+        assert stats["std_txs"] > 100
+        assert stats["max_txs"] > 2 * stats["min_txs"]
+
+    def test_cap_respected(self, default_trace):
+        assert max(b.txs for b in default_trace) <= BitcoinTraceConfig().max_txs_per_block
+
+
+class TestDeterminismAndConfig:
+    def test_same_seed_reproduces(self):
+        a = generate_bitcoin_trace(BitcoinTraceConfig(seed=5))
+        b = generate_bitcoin_trace(BitcoinTraceConfig(seed=5))
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = generate_bitcoin_trace(BitcoinTraceConfig(seed=5))
+        b = generate_bitcoin_trace(BitcoinTraceConfig(seed=6))
+        assert a != b
+
+    def test_custom_totals_respected(self):
+        config = BitcoinTraceConfig(num_blocks=100, total_txs=50_000, seed=1)
+        trace = generate_bitcoin_trace(config)
+        assert len(trace) == 100
+        assert sum(b.txs for b in trace) == 50_000
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            BitcoinTraceConfig(num_blocks=0)
+        with pytest.raises(ValueError):
+            BitcoinTraceConfig(num_blocks=10, total_txs=5)
+        with pytest.raises(ValueError):
+            BitcoinTraceConfig(sigma=-1.0)
+        with pytest.raises(ValueError):
+            BitcoinTraceConfig(mean_interblock_seconds=0.0)

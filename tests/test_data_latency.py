@@ -1,0 +1,82 @@
+"""Tests for the two-phase latency model."""
+
+import numpy as np
+import pytest
+
+from repro.data.latency import (
+    PAPER_CONSENSUS_MEAN_S,
+    PAPER_FORMATION_MEAN_S,
+    TwoPhaseLatencyModel,
+    TwoPhaseSample,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+class TestCalibration:
+    def test_formation_mean_matches_paper(self, rng):
+        model = TwoPhaseLatencyModel()
+        samples = [model.sample_formation(rng) for _ in range(4000)]
+        assert np.mean(samples) == pytest.approx(PAPER_FORMATION_MEAN_S, rel=0.08)
+
+    def test_consensus_mean_matches_paper(self, rng):
+        model = TwoPhaseLatencyModel()
+        samples = [model.sample_consensus(rng) for _ in range(4000)]
+        assert np.mean(samples) == pytest.approx(PAPER_CONSENSUS_MEAN_S, rel=0.08)
+
+    def test_formation_is_heavy_tailed_exponential(self, rng):
+        model = TwoPhaseLatencyModel()
+        samples = np.array([model.sample_formation(rng) for _ in range(4000)])
+        # Exponential: std == mean.
+        assert np.std(samples) == pytest.approx(np.mean(samples), rel=0.15)
+
+    def test_consensus_is_banded_not_exponential(self, rng):
+        model = TwoPhaseLatencyModel()
+        samples = np.array([model.sample_consensus(rng) for _ in range(4000)])
+        # Gamma sum: much narrower than an exponential of the same mean.
+        assert np.std(samples) < 0.6 * np.mean(samples)
+
+    def test_formation_dominates_consensus(self, rng):
+        """Fig. 2's headline: formation consumes the large portion."""
+        model = TwoPhaseLatencyModel()
+        samples = model.sample_many(rng, 500)
+        mean_formation = np.mean([s.formation for s in samples])
+        mean_consensus = np.mean([s.consensus for s in samples])
+        assert mean_formation > 5 * mean_consensus
+
+
+class TestApi:
+    def test_sample_total_is_sum(self, rng):
+        sample = TwoPhaseLatencyModel().sample(rng)
+        assert sample.total == pytest.approx(sample.formation + sample.consensus)
+
+    def test_sample_many_count(self, rng):
+        assert len(TwoPhaseLatencyModel().sample_many(rng, 17)) == 17
+
+    def test_sample_many_zero(self, rng):
+        assert TwoPhaseLatencyModel().sample_many(rng, 0) == []
+
+    def test_sample_many_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            TwoPhaseLatencyModel().sample_many(rng, -1)
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            TwoPhaseSample(formation=-1.0, consensus=2.0)
+
+    def test_invalid_model_params_rejected(self):
+        with pytest.raises(ValueError):
+            TwoPhaseLatencyModel(formation_mean=0)
+        with pytest.raises(ValueError):
+            TwoPhaseLatencyModel(consensus_mean=-5)
+        with pytest.raises(ValueError):
+            TwoPhaseLatencyModel(consensus_shape=0)
+
+    def test_custom_means_scale(self, rng):
+        model = TwoPhaseLatencyModel(formation_mean=100.0, consensus_mean=10.0)
+        samples = model.sample_many(rng, 2000)
+        assert np.mean([s.formation for s in samples]) == pytest.approx(100.0, rel=0.1)
+        assert np.mean([s.consensus for s in samples]) == pytest.approx(10.0, rel=0.1)

@@ -1,0 +1,74 @@
+"""Tests for the trace CSV loader."""
+
+import io
+
+import pytest
+
+from repro.data.bitcoin import BitcoinTraceConfig, generate_bitcoin_trace
+from repro.data.loader import TraceFormatError, read_trace_csv, write_trace_csv
+
+HEADER = "blockID,bhash,btime,txs\n"
+
+
+def test_roundtrip_through_csv(tmp_path):
+    blocks = generate_bitcoin_trace(BitcoinTraceConfig(num_blocks=50, total_txs=40_000, seed=2))
+    path = str(tmp_path / "trace.csv")
+    write_trace_csv(blocks, path)
+    loaded = read_trace_csv(path)
+    assert loaded == sorted(blocks, key=lambda b: b.btime)
+
+
+def test_rows_sorted_by_btime():
+    raw = HEADER + "1,hb,200,10\n0,ha,100,5\n"
+    blocks = read_trace_csv(io.StringIO(raw))
+    assert [b.block_id for b in blocks] == [1, 0] or [b.btime for b in blocks] == [100, 200]
+    assert [b.btime for b in blocks] == [100, 200]
+
+
+def test_missing_column_rejected():
+    with pytest.raises(TraceFormatError, match="missing columns"):
+        read_trace_csv(io.StringIO("blockID,bhash,btime\n1,h,2\n"))
+
+
+def test_empty_file_rejected():
+    with pytest.raises(TraceFormatError):
+        read_trace_csv(io.StringIO(""))
+
+
+def test_no_rows_rejected():
+    with pytest.raises(TraceFormatError, match="no rows"):
+        read_trace_csv(io.StringIO(HEADER))
+
+
+def test_malformed_value_rejected_with_line():
+    with pytest.raises(TraceFormatError, match="line 3"):
+        read_trace_csv(io.StringIO(HEADER + "0,h,1,5\n1,h,x,5\n"))
+
+
+def test_negative_txs_rejected():
+    with pytest.raises(TraceFormatError, match="negative"):
+        read_trace_csv(io.StringIO(HEADER + "0,h,1,-5\n"))
+
+
+def test_empty_hash_rejected():
+    with pytest.raises(TraceFormatError, match="empty block hash"):
+        read_trace_csv(io.StringIO(HEADER + "0,,1,5\n"))
+
+
+def test_duplicate_block_id_rejected():
+    with pytest.raises(TraceFormatError, match="duplicate"):
+        read_trace_csv(io.StringIO(HEADER + "0,ha,1,5\n0,hb,2,6\n"))
+
+
+def test_loaded_trace_feeds_workload_builder(tmp_path):
+    """A loaded CSV plugs into the same pipeline as the synthetic trace."""
+    from repro.data.workload import WorkloadConfig, generate_epoch_workload
+
+    blocks = generate_bitcoin_trace(BitcoinTraceConfig(num_blocks=60, total_txs=50_000, seed=3))
+    path = str(tmp_path / "trace.csv")
+    write_trace_csv(blocks, path)
+    loaded = read_trace_csv(path)
+    workload = generate_epoch_workload(
+        WorkloadConfig(num_committees=20, capacity=18_000, seed=1), blocks=loaded
+    )
+    assert workload.instance.num_shards == 16  # 80% of 20

@@ -1,0 +1,82 @@
+"""Tests for shard workload construction."""
+
+import numpy as np
+import pytest
+
+from repro.data.bitcoin import BitcoinTraceConfig, generate_bitcoin_trace
+from repro.data.shards import ShardRecord, build_shards, partition_blocks
+
+
+@pytest.fixture(scope="module")
+def blocks():
+    return generate_bitcoin_trace(BitcoinTraceConfig(num_blocks=120, total_txs=130_000, seed=3))
+
+
+class TestPartition:
+    def test_every_block_assigned_once(self, blocks):
+        rng = np.random.default_rng(1)
+        groups = partition_blocks(blocks, 10, rng)
+        flat = [b.block_id for group in groups for b in group]
+        assert sorted(flat) == [b.block_id for b in blocks]
+
+    def test_group_count(self, blocks):
+        rng = np.random.default_rng(1)
+        assert len(partition_blocks(blocks, 7, rng)) == 7
+
+    def test_balanced_within_one_block(self, blocks):
+        rng = np.random.default_rng(1)
+        groups = partition_blocks(blocks, 9, rng)
+        sizes = [len(g) for g in groups]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_groups_than_blocks_leaves_empties(self, blocks):
+        rng = np.random.default_rng(1)
+        groups = partition_blocks(blocks[:5], 8, rng)
+        assert sum(len(g) for g in groups) == 5
+        assert sum(1 for g in groups if not g) == 3
+
+    def test_shuffle_differs_by_rng(self, blocks):
+        a = partition_blocks(blocks, 10, np.random.default_rng(1))
+        b = partition_blocks(blocks, 10, np.random.default_rng(2))
+        assert [x.block_id for x in a[0]] != [x.block_id for x in b[0]]
+
+    def test_zero_groups_rejected(self, blocks):
+        with pytest.raises(ValueError):
+            partition_blocks(blocks, 0, np.random.default_rng(1))
+
+
+class TestBuildShards:
+    def test_tx_counts_accumulate_blocks(self, blocks):
+        rng = np.random.default_rng(5)
+        shards = build_shards(blocks, 12, rng)
+        total = sum(shard.tx_count for shard in shards)
+        assert total == sum(b.txs for b in blocks)
+
+    def test_shard_ids_sequential(self, blocks):
+        shards = build_shards(blocks, 12, np.random.default_rng(5))
+        assert [s.shard_id for s in shards] == list(range(12))
+
+    def test_latency_decomposition(self, blocks):
+        shards = build_shards(blocks, 12, np.random.default_rng(5))
+        for shard in shards:
+            assert shard.latency == pytest.approx(
+                shard.formation_latency + shard.consensus_latency
+            )
+
+    def test_block_ids_recorded(self, blocks):
+        shards = build_shards(blocks, 12, np.random.default_rng(5))
+        flat = [bid for shard in shards for bid in shard.block_ids]
+        assert sorted(flat) == [b.block_id for b in blocks]
+
+    def test_deterministic_for_same_rng_seed(self, blocks):
+        a = build_shards(blocks, 12, np.random.default_rng(5))
+        b = build_shards(blocks, 12, np.random.default_rng(5))
+        assert a == b
+
+    def test_invalid_record_rejected(self):
+        with pytest.raises(ValueError):
+            ShardRecord(shard_id=0, tx_count=-1, latency=1.0,
+                        formation_latency=1.0, consensus_latency=0.0, block_ids=())
+        with pytest.raises(ValueError):
+            ShardRecord(shard_id=0, tx_count=1, latency=-1.0,
+                        formation_latency=1.0, consensus_latency=0.0, block_ids=())

@@ -1,0 +1,22 @@
+"""Run the doctests embedded in module/class docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.harness.sweeps
+import repro.sim.engine
+import repro.sim.rng
+
+DOCTEST_MODULES = [
+    repro.sim.engine,
+    repro.sim.rng,
+    repro.harness.sweeps,
+]
+
+
+@pytest.mark.parametrize("module", DOCTEST_MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

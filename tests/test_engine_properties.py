@@ -1,0 +1,73 @@
+"""Property-based tests for the simulation engine's ordering guarantees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import SimulationEngine
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=1_000.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(delays)
+@settings(max_examples=100, deadline=None)
+def test_events_always_fire_in_nondecreasing_time(delay_list):
+    engine = SimulationEngine()
+    fired = []
+    for delay in delay_list:
+        engine.schedule(delay, lambda: fired.append(engine.now))
+    engine.run()
+    assert len(fired) == len(delay_list)
+    assert all(later >= earlier for earlier, later in zip(fired, fired[1:]))
+    assert sorted(fired) == sorted(delay_list)
+
+
+@given(delays)
+@settings(max_examples=100, deadline=None)
+def test_equal_times_fire_in_schedule_order(delay_list):
+    engine = SimulationEngine()
+    fired = []
+    shared_delay = 5.0
+    for index, _ in enumerate(delay_list):
+        engine.schedule(shared_delay, lambda i=index: fired.append(i))
+    engine.run()
+    assert fired == list(range(len(delay_list)))
+
+
+@given(delays, st.data())
+@settings(max_examples=60, deadline=None)
+def test_cancellation_removes_exactly_the_cancelled(delay_list, data):
+    engine = SimulationEngine()
+    fired = []
+    handles = [
+        engine.schedule(delay, lambda i=index: fired.append(i))
+        for index, delay in enumerate(delay_list)
+    ]
+    to_cancel = data.draw(st.sets(st.sampled_from(range(len(handles)))))
+    for index in to_cancel:
+        engine.cancel(handles[index])
+    engine.run()
+    assert sorted(fired) == sorted(set(range(len(delay_list))) - to_cancel)
+
+
+@given(delays)
+@settings(max_examples=60, deadline=None)
+def test_run_until_is_resumable_without_loss(delay_list):
+    """Splitting a run at an arbitrary bound never loses or reorders events."""
+    reference_engine = SimulationEngine()
+    reference = []
+    for index, delay in enumerate(delay_list):
+        reference_engine.schedule(delay, lambda i=index: reference.append(i))
+    reference_engine.run()
+
+    split_engine = SimulationEngine()
+    split = []
+    for index, delay in enumerate(delay_list):
+        split_engine.schedule(delay, lambda i=index: split.append(i))
+    bound = max(delay_list) / 2
+    split_engine.run(until=bound)
+    split_engine.run()
+    assert split == reference

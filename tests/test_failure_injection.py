@@ -1,0 +1,86 @@
+"""Failure-injection tests: message loss through the protocol stack."""
+
+import numpy as np
+import pytest
+
+from repro.chain.network import Network
+from repro.chain.node import spawn_nodes
+from repro.chain.params import ChainParams, NetworkParams
+from repro.chain.pbft import run_pbft_round
+from repro.sim.engine import SimulationEngine
+
+
+class TestLossyNetwork:
+    def test_loss_probability_validated(self):
+        with pytest.raises(ValueError):
+            NetworkParams(loss_probability=1.0)
+        with pytest.raises(ValueError):
+            NetworkParams(loss_probability=-0.1)
+
+    def test_drop_rate_matches_probability(self):
+        engine = SimulationEngine()
+        params = NetworkParams(base_delay=1.0, loss_probability=0.3)
+        network = Network(engine, params, np.random.default_rng(0))
+        received = []
+        network.register(0, lambda m: None)
+        network.register(1, lambda m: received.append(m))
+        for _ in range(2_000):
+            network.send(0, 1, "ping")
+        engine.run()
+        assert network.messages_sent == 2_000
+        assert network.messages_dropped == pytest.approx(600, rel=0.15)
+        assert len(received) == 2_000 - network.messages_dropped
+
+    def test_zero_loss_delivers_everything(self):
+        engine = SimulationEngine()
+        network = Network(engine, NetworkParams(base_delay=1.0), np.random.default_rng(0))
+        received = []
+        network.register(0, lambda m: None)
+        network.register(1, lambda m: received.append(m))
+        for _ in range(100):
+            network.send(0, 1, "ping")
+        engine.run()
+        assert len(received) == 100
+        assert network.messages_dropped == 0
+
+
+class TestPbftUnderLoss:
+    def _round(self, loss, seed=0, size=10):
+        params = NetworkParams(base_delay=1.0, jitter_sigma=0.3, loss_probability=loss)
+        members = spawn_nodes(size, 0.0, np.random.default_rng(seed))
+        return run_pbft_round(members, np.random.default_rng(100 + seed), params, 5.0,
+                              round_tag=f"loss-{loss}-{seed}")
+
+    def test_commits_under_moderate_loss(self):
+        """Quorum redundancy (2f+1 of 3f+1) absorbs 10% message loss."""
+        committed = sum(1 for seed in range(6) if self._round(0.10, seed).committed)
+        assert committed >= 5
+
+    def test_loss_increases_latency(self):
+        clean = [self._round(0.0, seed).latency for seed in range(6)]
+        lossy = [self._round(0.15, seed).latency for seed in range(6)
+                 if self._round(0.15, seed).committed]
+        assert np.mean(lossy) >= np.mean(clean)
+
+    def test_extreme_loss_can_stall_the_round(self):
+        """At very high loss the quorum never assembles (no retransmission
+        layer is modelled) -- the committee stalls, exactly the straggler
+        behaviour the final committee's DDL protects against."""
+        outcomes = [self._round(0.9, seed) for seed in range(4)]
+        assert any(not outcome.committed for outcome in outcomes)
+
+
+class TestEpochUnderLoss:
+    def test_epoch_still_produces_a_block_with_lossy_network(self):
+        from repro.chain.elastico import ElasticoSimulation
+        from repro.core.problem import MVComConfig
+
+        params = ChainParams(
+            num_nodes=120, committee_size=8, seed=71,
+            network=NetworkParams(base_delay=2.0, loss_probability=0.05),
+        )
+        simulation = ElasticoSimulation(params, mvcom_config=MVComConfig(alpha=1.5, capacity=12_000))
+        outcome = simulation.run_epoch()
+        # Some committees may stall, but the epoch as a whole survives.
+        assert outcome.final is not None
+        assert simulation.chain.verify()

@@ -1,0 +1,53 @@
+"""Tests for the shared run_all_algorithms helper (incl. extras path)."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.data.workload import WorkloadConfig, generate_epoch_workload
+from repro.harness.experiments import extra_baselines, paper_baselines, run_all_algorithms
+from repro.harness.presets import PRESETS
+
+
+@pytest.fixture(scope="module")
+def setup():
+    workload = generate_epoch_workload(WorkloadConfig(num_committees=20, capacity=16_000, seed=3))
+    preset = replace(PRESETS["fig12"], num_committees=20, capacity=16_000, gamma=2,
+                     se_iterations=300, baseline_iterations=300, convergence_window=300)
+    return workload.instance, preset
+
+
+def test_paper_trio_names():
+    assert [s.name for s in paper_baselines(1)] == ["SA", "DP", "WOA"]
+    assert [s.name for s in extra_baselines(1)] == ["Greedy", "Random"]
+
+
+def test_default_records_cover_se_plus_trio(setup):
+    instance, preset = setup
+    records = run_all_algorithms(instance, preset, seed=1)
+    assert set(records) == {"SE", "SA", "DP", "WOA"}
+
+
+def test_extras_flag_adds_reference_points(setup):
+    instance, preset = setup
+    records = run_all_algorithms(instance, preset, seed=1, include_extras=True)
+    assert set(records) == {"SE", "SA", "DP", "WOA", "Greedy", "Random"}
+
+
+def test_records_are_internally_consistent(setup):
+    instance, preset = setup
+    records = run_all_algorithms(instance, preset, seed=1, include_extras=True)
+    for name, record in records.items():
+        assert record["weight"] <= instance.capacity, name
+        assert record["utility"] == pytest.approx(instance.utility(record["mask"])), name
+        assert record["count"] == int(np.asarray(record["mask"]).sum()), name
+        assert record["valuable_degree"] >= 0, name
+        assert len(record["trace"]) >= 1, name
+
+
+def test_gamma_override_respected(setup):
+    instance, preset = setup
+    low = run_all_algorithms(instance, preset, seed=1, gamma=1)["SE"]
+    high = run_all_algorithms(instance, preset, seed=1, gamma=4)["SE"]
+    assert high["utility"] >= 0.99 * low["utility"]

@@ -1,0 +1,63 @@
+"""Tests for the generic sweep utilities."""
+
+import pytest
+
+from repro.core.se import SEConfig
+from repro.data.workload import WorkloadConfig
+from repro.harness.sweeps import best_row, grid_sweep, parameter_grid
+
+
+class TestParameterGrid:
+    def test_cartesian_product(self):
+        grid = parameter_grid({"a": [1, 2], "b": ["x", "y"]})
+        assert len(grid) == 4
+        assert {"a": 2, "b": "y"} in grid
+
+    def test_empty_axes_single_point(self):
+        assert parameter_grid({}) == [{}]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            parameter_grid({"a": []})
+
+    def test_order_stable(self):
+        grid = parameter_grid({"a": [1, 2], "b": [10, 20]})
+        assert grid[0] == {"a": 1, "b": 10}
+        assert grid[1] == {"a": 1, "b": 20}
+
+
+class TestGridSweep:
+    BASE_WORKLOAD = WorkloadConfig(num_committees=20, capacity=16_000, seed=2)
+    BASE_SE = SEConfig(num_threads=2, max_iterations=400, convergence_window=200, seed=1)
+
+    def test_rows_per_combination(self):
+        rows = grid_sweep(
+            self.BASE_WORKLOAD,
+            workload_axes={"alpha": [1.5, 5.0]},
+            se_axes={"num_threads": [1, 3]},
+            base_se=self.BASE_SE,
+        )
+        assert len(rows) == 4
+        assert all("utility" in row and "alpha" in row and "num_threads" in row for row in rows)
+
+    def test_alpha_sweep_monotone(self):
+        rows = grid_sweep(
+            self.BASE_WORKLOAD,
+            workload_axes={"alpha": [1.5, 10.0]},
+            base_se=self.BASE_SE,
+        )
+        assert rows[1]["utility"] > rows[0]["utility"]
+
+    def test_extra_metrics_merged(self):
+        rows = grid_sweep(
+            self.BASE_WORKLOAD,
+            base_se=self.BASE_SE,
+            extra_metrics=lambda instance, result: {"n_shards": instance.num_shards},
+        )
+        assert rows[0]["n_shards"] == 16
+
+    def test_best_row(self):
+        rows = [{"utility": 1.0}, {"utility": 5.0}, {"utility": 3.0}]
+        assert best_row(rows)["utility"] == 5.0
+        with pytest.raises(ValueError):
+            best_row([])

@@ -1,0 +1,63 @@
+"""Tests for the terminal line plots."""
+
+import numpy as np
+import pytest
+
+from repro.harness.textplot import GLYPHS, line_plot, sparkline
+
+
+class TestLinePlot:
+    def test_contains_every_series_glyph_and_legend(self):
+        chart = line_plot({"a": [1, 2, 3], "b": [3, 2, 1]}, width=30, height=8)
+        assert "*" in chart and "o" in chart
+        assert "*=a" in chart and "o=b" in chart
+
+    def test_y_axis_labels_reflect_range(self):
+        chart = line_plot({"a": [0.0, 100.0]}, width=30, height=8)
+        assert "100" in chart and "0" in chart and "50" in chart
+
+    def test_rising_series_rises(self):
+        chart = line_plot({"a": list(range(50))}, width=40, height=10, title="t")
+        rows = [line for line in chart.splitlines() if "|" in line]
+        first_column = next(i for i, row in enumerate(rows) if "*" in row.split("|")[1][:3])
+        last_column = next(i for i, row in enumerate(rows) if "*" in row.split("|")[1][-3:])
+        assert first_column > last_column  # later rows are lower values
+
+    def test_different_lengths_share_axis(self):
+        chart = line_plot({"long": list(range(100)), "short": [5.0]}, width=30, height=8)
+        assert "long" in chart and "short" in chart
+
+    def test_constant_series_handled(self):
+        chart = line_plot({"flat": [7.0] * 10}, width=30, height=6)
+        assert "7" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_plot({})
+        with pytest.raises(ValueError):
+            line_plot({"a": []})
+        with pytest.raises(ValueError):
+            line_plot({"a": [1]}, width=5)
+        too_many = {f"s{i}": [1.0] for i in range(len(GLYPHS) + 1)}
+        with pytest.raises(ValueError):
+            line_plot(too_many)
+
+    def test_title_first_line(self):
+        chart = line_plot({"a": [1, 2]}, title="My Title", width=20, height=5)
+        assert chart.splitlines()[0] == "My Title"
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        spark = sparkline(np.linspace(0, 1, 40))
+        assert spark[0] == "▁" and spark[-1] == "█"
+
+    def test_width_respected(self):
+        assert len(sparkline(range(100), width=25)) == 25
+
+    def test_short_series(self):
+        assert len(sparkline([1.0, 2.0], width=40)) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])

@@ -1,0 +1,25 @@
+"""Keep the README honest: its quickstart snippet must actually run."""
+
+def test_readme_quickstart_snippet():
+    from repro import (WorkloadConfig, generate_epoch_workload,
+                       SEConfig, StochasticExploration, summarize_schedule)
+
+    workload = generate_epoch_workload(
+        WorkloadConfig(num_committees=100, capacity=100_000, alpha=1.5, seed=42))
+    result = StochasticExploration(
+        SEConfig(num_threads=10, max_iterations=1000, convergence_window=400)).solve(
+            workload.instance)
+    row = summarize_schedule(workload.instance, result.best_mask, "SE").as_row()
+    assert row["algorithm"] == "SE"
+    assert row["throughput_txs"] <= 100_000
+    assert row["feasible"]
+
+
+def test_package_docstring_example():
+    """The example in repro/__init__.py's docstring."""
+    from repro import WorkloadConfig, generate_epoch_workload, SEConfig, StochasticExploration
+
+    workload = generate_epoch_workload(WorkloadConfig(num_committees=50, capacity=50_000))
+    result = StochasticExploration(SEConfig(num_threads=5, max_iterations=500)).solve(
+        workload.instance)
+    assert result.best_weight <= workload.instance.capacity

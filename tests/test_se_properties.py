@@ -1,0 +1,61 @@
+"""Property-based tests on the SE algorithm's contract."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.problem import EpochInstance, MVComConfig
+from repro.core.se import SEConfig, StochasticExploration, should_bootstrap
+
+
+@st.composite
+def feasible_instances(draw):
+    """Random instances guaranteed to admit at least one selection."""
+    n = draw(st.integers(min_value=4, max_value=18))
+    tx_counts = draw(st.lists(st.integers(min_value=50, max_value=2_000),
+                              min_size=n, max_size=n))
+    latencies = draw(st.lists(st.floats(min_value=0, max_value=1_500,
+                                        allow_nan=False), min_size=n, max_size=n))
+    alpha = draw(st.sampled_from([1.5, 5.0, 10.0]))
+    # Capacity between the largest single shard and the total.
+    total = sum(tx_counts)
+    capacity = draw(st.integers(min_value=max(tx_counts), max_value=max(total, max(tx_counts) + 1)))
+    config = MVComConfig(alpha=alpha, capacity=capacity)
+    return EpochInstance(tx_counts, latencies, config)
+
+
+@given(feasible_instances(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_se_always_returns_feasible_solutions(instance, seed):
+    """Whatever the instance and seed, SE's answer satisfies (3)-(4) and its
+    reported aggregates match its mask."""
+    result = StochasticExploration(
+        SEConfig(num_threads=2, max_iterations=250, convergence_window=120, seed=seed)
+    ).solve(instance)
+    assert result.best_weight <= instance.capacity
+    assert result.best_count >= instance.n_min
+    assert instance.weight(result.best_mask) == result.best_weight
+    assert abs(instance.utility(result.best_mask) - result.best_utility) < 1e-6 * max(
+        1.0, abs(result.best_utility)
+    )
+    trace = result.utility_trace
+    assert (np.diff(trace) >= -1e-9).all()  # best-so-far is monotone
+
+
+@given(feasible_instances())
+@settings(max_examples=40, deadline=None)
+def test_bootstrap_condition_matches_definition(instance):
+    expected = (
+        instance.num_shards >= instance.n_min
+        and int(instance.tx_counts.sum()) > instance.capacity
+    )
+    assert should_bootstrap(instance) == expected
+
+
+@given(feasible_instances())
+@settings(max_examples=25, deadline=None)
+def test_se_beats_or_matches_its_own_initialisation(instance):
+    result = StochasticExploration(
+        SEConfig(num_threads=2, max_iterations=300, convergence_window=150, seed=1)
+    ).solve(instance)
+    assert result.best_utility >= result.utility_trace[0] - 1e-9

@@ -1,0 +1,178 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Event, SimulationEngine, SimulationError
+
+
+class TestScheduling:
+    def test_starts_at_zero(self):
+        assert SimulationEngine().now == 0.0
+
+    def test_custom_start_time(self):
+        assert SimulationEngine(start_time=5.0).now == 5.0
+
+    def test_events_fire_in_time_order(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(2.0, lambda: seen.append("b"))
+        engine.schedule(1.0, lambda: seen.append("a"))
+        engine.schedule(3.0, lambda: seen.append("c"))
+        engine.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        engine = SimulationEngine()
+        times = []
+        engine.schedule(1.5, lambda: times.append(engine.now))
+        engine.schedule(4.0, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [1.5, 4.0]
+
+    def test_ties_fire_in_schedule_order(self):
+        engine = SimulationEngine()
+        seen = []
+        for tag in range(5):
+            engine.schedule(1.0, lambda t=tag: seen.append(t))
+        engine.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine().schedule(-0.1, lambda: None)
+
+    def test_zero_delay_allowed(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(0.0, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [0.0]
+
+    def test_schedule_at_absolute_time(self):
+        engine = SimulationEngine(start_time=10.0)
+        times = []
+        engine.schedule_at(12.0, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [12.0]
+
+    def test_nested_scheduling_from_callback(self):
+        engine = SimulationEngine()
+        seen = []
+
+        def first():
+            seen.append(("first", engine.now))
+            engine.schedule(1.0, lambda: seen.append(("second", engine.now)))
+
+        engine.schedule(1.0, first)
+        engine.run()
+        assert seen == [("first", 1.0), ("second", 2.0)]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = SimulationEngine()
+        seen = []
+        handle = engine.schedule(1.0, lambda: seen.append("x"))
+        engine.cancel(handle)
+        engine.run()
+        assert seen == []
+
+    def test_cancel_unknown_handle_is_noop(self):
+        engine = SimulationEngine()
+        engine.cancel(12345)
+        engine.run()
+
+    def test_cancel_one_of_many(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(1.0, lambda: seen.append("keep1"))
+        handle = engine.schedule(2.0, lambda: seen.append("drop"))
+        engine.schedule(3.0, lambda: seen.append("keep2"))
+        engine.cancel(handle)
+        engine.run()
+        assert seen == ["keep1", "keep2"]
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_at_bound(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(1.0, lambda: seen.append(1))
+        engine.schedule(5.0, lambda: seen.append(5))
+        engine.run(until=3.0)
+        assert seen == [1]
+        assert engine.now == 3.0
+        engine.run()
+        assert seen == [1, 5]
+
+    def test_max_events_bounds_execution(self):
+        engine = SimulationEngine()
+        seen = []
+        for i in range(10):
+            engine.schedule(float(i + 1), lambda i=i: seen.append(i))
+        engine.run(max_events=3)
+        assert seen == [0, 1, 2]
+
+    def test_step_returns_false_when_empty(self):
+        assert SimulationEngine().step() is False
+
+    def test_step_executes_single_event(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(1.0, lambda: seen.append("a"))
+        engine.schedule(2.0, lambda: seen.append("b"))
+        assert engine.step() is True
+        assert seen == ["a"]
+
+    def test_processed_counter(self):
+        engine = SimulationEngine()
+        for i in range(4):
+            engine.schedule(float(i), lambda: None)
+        engine.run()
+        assert engine.processed == 4
+
+    def test_advance_to_moves_idle_clock(self):
+        engine = SimulationEngine()
+        engine.advance_to(100.0)
+        assert engine.now == 100.0
+
+    def test_advance_to_cannot_go_backwards(self):
+        engine = SimulationEngine(start_time=10.0)
+        with pytest.raises(SimulationError):
+            engine.advance_to(5.0)
+
+    def test_advance_to_cannot_skip_pending(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            engine.advance_to(2.0)
+
+
+class TestEvent:
+    def test_fire_delivers_payload(self):
+        event = Event(name="e")
+        payloads = []
+        event.subscribe(lambda e: payloads.append(e.payload))
+        event.fire(payload=42)
+        assert payloads == [42]
+
+    def test_double_fire_rejected(self):
+        event = Event()
+        event.fire()
+        with pytest.raises(SimulationError):
+            event.fire()
+
+    def test_late_subscriber_runs_immediately(self):
+        event = Event()
+        event.fire(payload="done")
+        seen = []
+        event.subscribe(lambda e: seen.append(e.payload))
+        assert seen == ["done"]
+
+    def test_multiple_subscribers_all_run(self):
+        event = Event()
+        seen = []
+        for i in range(3):
+            event.subscribe(lambda e, i=i: seen.append(i))
+        event.fire()
+        assert sorted(seen) == [0, 1, 2]

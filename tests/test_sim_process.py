@@ -1,0 +1,157 @@
+"""Tests for generator-based processes."""
+
+import pytest
+
+from repro.sim.engine import Event, SimulationEngine, SimulationError
+from repro.sim.process import Process, Timeout, WaitEvent, all_of, any_of
+
+
+def test_process_runs_to_completion():
+    engine = SimulationEngine()
+    steps = []
+
+    def worker():
+        steps.append(("start", engine.now))
+        yield Timeout(2.0)
+        steps.append(("middle", engine.now))
+        yield Timeout(3.0)
+        steps.append(("end", engine.now))
+
+    Process(engine, worker(), name="worker")
+    engine.run()
+    assert steps == [("start", 0.0), ("middle", 2.0), ("end", 5.0)]
+
+
+def test_process_return_value_lands_on_done():
+    engine = SimulationEngine()
+
+    def worker():
+        yield Timeout(1.0)
+        return 99
+
+    process = Process(engine, worker())
+    engine.run()
+    assert process.finished
+    assert process.result == 99
+
+
+def test_process_waits_for_event_payload():
+    engine = SimulationEngine()
+    gate = Event(name="gate")
+    seen = []
+
+    def waiter():
+        payload = yield WaitEvent(gate)
+        seen.append((payload, engine.now))
+
+    Process(engine, waiter())
+    engine.schedule(4.0, lambda: gate.fire(payload="go"))
+    engine.run()
+    assert seen == [("go", 4.0)]
+
+
+def test_process_waits_for_subprocess():
+    engine = SimulationEngine()
+    order = []
+
+    def child():
+        yield Timeout(2.0)
+        order.append("child-done")
+        return "child-result"
+
+    def parent():
+        result = yield Process(engine, child(), name="child")
+        order.append(("parent-saw", result))
+
+    Process(engine, parent(), name="parent")
+    engine.run()
+    assert order == ["child-done", ("parent-saw", "child-result")]
+
+
+def test_process_bad_yield_raises():
+    engine = SimulationEngine()
+
+    def worker():
+        yield 42  # not a valid awaitable
+
+    Process(engine, worker())
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_process_exception_surfaces_on_handle():
+    engine = SimulationEngine()
+
+    def worker():
+        yield Timeout(1.0)
+        raise ValueError("boom")
+
+    process = Process(engine, worker())
+    with pytest.raises(ValueError):
+        engine.run()
+    assert isinstance(process.failed, ValueError)
+
+
+def test_process_can_yield_raw_event():
+    engine = SimulationEngine()
+    gate = Event()
+    seen = []
+
+    def worker():
+        value = yield gate
+        seen.append(value)
+
+    Process(engine, worker())
+    engine.schedule(1.0, lambda: gate.fire(payload=7))
+    engine.run()
+    assert seen == [7]
+
+
+class TestCombinators:
+    def test_all_of_waits_for_every_event(self):
+        engine = SimulationEngine()
+        events = [Event(name=f"e{i}") for i in range(3)]
+        gate = all_of(engine, events)
+        results = []
+        gate.subscribe(lambda e: results.append((engine.now, e.payload)))
+        for delay, event in zip([3.0, 1.0, 2.0], events):
+            engine.schedule(delay, lambda ev=event, d=delay: ev.fire(payload=d))
+        engine.run()
+        assert results == [(3.0, [3.0, 1.0, 2.0])]
+
+    def test_all_of_empty_fires_immediately(self):
+        engine = SimulationEngine()
+        gate = all_of(engine, [])
+        engine.run()
+        assert gate.fired
+
+    def test_all_of_with_prefired_event(self):
+        engine = SimulationEngine()
+        done = Event()
+        done.fire(payload="x")
+        pending = Event()
+        gate = all_of(engine, [done, pending])
+        engine.schedule(1.0, lambda: pending.fire(payload="y"))
+        engine.run()
+        assert gate.fired
+        assert gate.payload == ["x", "y"]
+
+    def test_any_of_fires_on_first(self):
+        engine = SimulationEngine()
+        events = [Event(), Event()]
+        gate = any_of(engine, events)
+        results = []
+        gate.subscribe(lambda e: results.append((engine.now, e.payload)))
+        engine.schedule(2.0, lambda: events[0].fire(payload="slow"))
+        engine.schedule(1.0, lambda: events[1].fire(payload="fast"))
+        engine.run()
+        assert results == [(1.0, "fast")]
+
+    def test_any_of_with_prefired_event(self):
+        engine = SimulationEngine()
+        done = Event()
+        done.fire(payload="already")
+        gate = any_of(engine, [done, Event()])
+        engine.run()
+        assert gate.fired
+        assert gate.payload == "already"

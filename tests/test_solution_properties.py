@@ -1,0 +1,131 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.problem import EpochInstance, MVComConfig
+from repro.core.solution import Solution
+
+# --------------------------------------------------------------------- #
+# strategies
+# --------------------------------------------------------------------- #
+shard_lists = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=5_000),       # tx_count
+              st.floats(min_value=0.0, max_value=5_000.0,       # latency
+                        allow_nan=False, allow_infinity=False)),
+    min_size=1,
+    max_size=24,
+)
+
+
+def build(shards, alpha=1.5, capacity=None):
+    tx_counts = [s[0] for s in shards]
+    latencies = [s[1] for s in shards]
+    if capacity is None:
+        capacity = max(sum(tx_counts) // 2, 1)
+    return EpochInstance(tx_counts, latencies, MVComConfig(alpha=alpha, capacity=capacity))
+
+
+@st.composite
+def instance_and_moves(draw):
+    shards = draw(shard_lists)
+    instance = build(shards)
+    moves = draw(st.lists(st.integers(min_value=0, max_value=len(shards) - 1), max_size=60))
+    return instance, moves
+
+
+# --------------------------------------------------------------------- #
+# Solution cache invariants
+# --------------------------------------------------------------------- #
+@given(instance_and_moves())
+@settings(max_examples=120, deadline=None)
+def test_flip_sequences_preserve_cache_invariant(data):
+    """utility/weight/count caches always equal the from-scratch recompute."""
+    instance, moves = data
+    solution = Solution(instance)
+    for index in moves:
+        solution.flip(index)
+        reference = Solution(instance, solution.mask)
+        assert solution.count == reference.count
+        assert solution.weight == reference.weight
+        assert abs(solution.utility - reference.utility) < 1e-6 * max(1.0, abs(reference.utility))
+
+
+@given(instance_and_moves(), st.randoms(use_true_random=False))
+@settings(max_examples=80, deadline=None)
+def test_swap_sequences_preserve_cardinality_and_cache(data, rnd):
+    instance, moves = data
+    if instance.num_shards < 2:
+        return
+    start = [i for i in range(instance.num_shards) if i % 2 == 0]
+    solution = Solution.from_indices(instance, start)
+    cardinality = solution.count
+    for _ in range(min(len(moves), 30)):
+        selected = solution.selected_positions()
+        unselected = solution.unselected_positions()
+        if len(selected) == 0 or len(unselected) == 0:
+            break
+        out = int(rnd.choice(list(selected)))
+        into = int(rnd.choice(list(unselected)))
+        predicted = solution.utility + solution.swap_delta(out, into)
+        solution.swap(out, into)
+        assert solution.count == cardinality
+        assert abs(solution.utility - predicted) < 1e-6 * max(1.0, abs(predicted))
+
+
+@given(instance_and_moves())
+@settings(max_examples=80, deadline=None)
+def test_utility_is_separable_sum(data):
+    """U(f) == sum of selected values, for any mask reached by any moves."""
+    instance, moves = data
+    solution = Solution(instance)
+    for index in moves:
+        solution.flip(index)
+    expected = float(instance.values[solution.mask].sum())
+    assert abs(solution.utility - expected) < 1e-6 * max(1.0, abs(expected))
+
+
+@given(shard_lists)
+@settings(max_examples=100, deadline=None)
+def test_ages_are_nonnegative_and_slowest_is_zero(shards):
+    instance = build(shards)
+    assert (instance.ages >= -1e-9).all()
+    assert instance.ages.min() == 0.0  # the DDL-defining shard
+
+
+@given(shard_lists)
+@settings(max_examples=100, deadline=None)
+def test_max_feasible_cardinality_is_tight(shards):
+    """n_cap lightest shards fit; n_cap+1 lightest do not."""
+    instance = build(shards)
+    ordered = np.sort(instance.tx_counts)
+    n_cap = instance.max_feasible_cardinality
+    assert ordered[:n_cap].sum() <= instance.capacity
+    if n_cap < instance.num_shards:
+        assert ordered[: n_cap + 1].sum() > instance.capacity
+
+
+@given(shard_lists, st.integers(min_value=0, max_value=23))
+@settings(max_examples=80, deadline=None)
+def test_without_then_rebase_drops_exactly_one(shards, position):
+    instance = build(shards)
+    if instance.num_shards < 2:
+        return
+    position = position % instance.num_shards
+    shard_id = instance.shard_ids[position]
+    solution = Solution(instance, np.ones(instance.num_shards, dtype=bool))
+    smaller = instance.without(shard_id)
+    rebased = solution.rebase(smaller)
+    assert rebased.count == instance.num_shards - 1
+    assert shard_id not in rebased.selected_ids()
+
+
+@given(shard_lists)
+@settings(max_examples=60, deadline=None)
+def test_join_raises_every_age(shards):
+    """A straggler join can only increase (never decrease) existing ages."""
+    instance = build(shards)
+    straggler_latency = float(instance.latencies.max()) + 123.0
+    bigger = instance.with_shard(10_000, tx_count=10, latency=straggler_latency)
+    assert np.all(bigger.ages[: instance.num_shards] >= instance.ages - 1e-9)
