@@ -1,12 +1,16 @@
 # Canonical workflows for the MVCom reproduction.
 
-.PHONY: install test bench figures examples clean
+.PHONY: install test lint bench figures examples clean
 
 install:
 	pip install -e . || python setup.py develop   # offline envs lack wheel
 
 test:
 	pytest tests/
+
+# Determinism & contract linter (rules MV001-MV006); non-zero on findings.
+lint:
+	PYTHONPATH=src python -m repro.analysis src/
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -1,0 +1,52 @@
+"""``python -m repro.analysis`` — lint the tree, exit non-zero on findings."""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.config import load_config
+from repro.analysis.diagnostics import Severity, render_report
+from repro.analysis.engine import registered_rules, run_analysis
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the MV00x rules over ``paths``; exit 1 when errors are found."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="MVCom determinism & contract linter (rules MV001-MV006)",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files or directories to lint")
+    parser.add_argument("--config", help="explicit pyproject.toml (default: nearest ancestor)")
+    parser.add_argument("--list-rules", action="store_true", help="print the rule registry and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, rule_class in registered_rules().items():
+            print(f"{rule_id}  {rule_class.description}")
+        return 0
+
+    if args.config is not None and not os.path.isfile(args.config):
+        print(f"repro.analysis: error: --config file not found: {args.config}", file=sys.stderr)
+        return 2
+    missing = [p for p in args.paths if not os.path.exists(p)]
+    if missing:
+        for path in missing:
+            print(f"repro.analysis: error: no such file or directory: {path}", file=sys.stderr)
+        return 2
+
+    config = load_config(pyproject_path=args.config)
+    diagnostics = run_analysis(args.paths, config=config)
+    report = render_report(diagnostics)
+    if report:
+        print(report)
+    else:
+        print(f"repro.analysis: clean ({', '.join(args.paths)})")
+    errors = sum(1 for d in diagnostics if d.severity is Severity.ERROR)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

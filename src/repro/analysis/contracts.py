@@ -1,0 +1,206 @@
+"""Opt-in runtime contracts for scheduler boundaries.
+
+The static rules (:mod:`repro.analysis.rules`) prove the code *can't*
+silently break determinism; this module checks, at runtime, that results
+crossing the core boundaries actually satisfy the paper's constraints:
+
+* feasibility — :math:`\\sum_i x_i \\ge N_{min}` (const. 3) and
+  :math:`\\sum_i x_i s_i \\le \\hat C` (const. 4);
+* utility finiteness — no NaN/inf ever leaves a solver.
+
+Checks are **off by default** so the SE race's hot path stays untouched;
+set ``REPRO_CONTRACTS=1`` before importing :mod:`repro` to arm them.  The
+decorators read the flag at decoration time and return the wrapped
+function *unchanged* when disarmed — a true zero-overhead pass-through.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+import os
+from typing import Any, Callable, Optional, TypeVar
+
+ENV_FLAG = "REPRO_CONTRACTS"
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+class ContractViolation(AssertionError):
+    """A runtime contract (feasibility / finiteness) was broken."""
+
+
+def contracts_enabled() -> bool:
+    """Is ``REPRO_CONTRACTS`` set to a truthy value right now?"""
+    return os.environ.get(ENV_FLAG, "").strip().lower() in _TRUTHY
+
+
+# ---------------------------------------------------------------------- #
+# direct checks (usable without the decorators)
+# ---------------------------------------------------------------------- #
+def check_finite_utility(utility: float, where: str = "result") -> None:
+    """Raise unless ``utility`` is a finite float."""
+    if not math.isfinite(utility):
+        raise ContractViolation(f"{where}: utility {utility!r} is not finite")
+
+
+def check_solution_feasible(solution: Any, where: str = "solution") -> None:
+    """Assert const. (3) ``count >= n_min`` and const. (4) ``weight <= Ĉ``.
+
+    Accepts anything shaped like :class:`repro.core.solution.Solution`:
+    ``instance`` (with ``n_min``/``capacity``), ``count``, ``weight`` and
+    ``utility`` attributes.
+    """
+    instance = solution.instance
+    if solution.count < instance.n_min:
+        raise ContractViolation(
+            f"{where}: cardinality {solution.count} violates "
+            f"N_min={instance.n_min} (const. 3)"
+        )
+    if solution.weight > instance.capacity:
+        raise ContractViolation(
+            f"{where}: packed TXs {solution.weight} exceed "
+            f"capacity Ĉ={instance.capacity} (const. 4)"
+        )
+    check_finite_utility(float(solution.utility), where)
+
+
+def check_result_feasible(result: Any, instance: Any = None, where: str = "result") -> None:
+    """Validate a solver result against its epoch instance.
+
+    Understands ``Solution`` (has ``.instance``), ``SEResult`` (has
+    ``final_instance`` + ``best_*``) and ``ScheduleResult`` (mask/utility/
+    weight/count, instance supplied by the caller).  Unknown shapes are
+    ignored rather than rejected so decorated call sites never have to
+    special-case return types.
+    """
+    if result is None:
+        return
+    if hasattr(result, "instance") and hasattr(result, "count"):
+        check_solution_feasible(result, where)
+        return
+    target = getattr(result, "final_instance", None) or instance
+    utility = getattr(result, "best_utility", None)
+    if utility is None:
+        utility = getattr(result, "utility", None)
+    if utility is not None:
+        check_finite_utility(float(utility), where)
+    if target is None:
+        return
+    count = getattr(result, "best_count", None)
+    if count is None:
+        count = getattr(result, "count", None)
+    weight = getattr(result, "best_weight", None)
+    if weight is None:
+        weight = getattr(result, "weight", None)
+    if count is not None and count < target.n_min:
+        raise ContractViolation(
+            f"{where}: cardinality {count} violates N_min={target.n_min} (const. 3)"
+        )
+    if weight is not None and weight > target.capacity:
+        raise ContractViolation(
+            f"{where}: packed TXs {weight} exceed capacity Ĉ={target.capacity} (const. 4)"
+        )
+
+
+def check_instance_sane(instance: Any, where: str = "instance") -> None:
+    """Assert an :class:`EpochInstance`'s derived arrays are finite/consistent."""
+    values = getattr(instance, "values", None)
+    if values is not None:
+        import numpy as np
+
+        if not np.isfinite(np.asarray(values, dtype=float)).all():
+            raise ContractViolation(f"{where}: non-finite shard values v_i")
+    if instance.n_min > instance.num_shards:
+        raise ContractViolation(
+            f"{where}: N_min={instance.n_min} exceeds |I_j|={instance.num_shards}"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# decorators (zero-overhead when REPRO_CONTRACTS is unset)
+# ---------------------------------------------------------------------- #
+def _passthrough_unless_enabled(decorate: Callable[[F], F]) -> Callable[[F], F]:
+    def apply(func: F) -> F:
+        if not contracts_enabled():
+            return func
+        return decorate(func)
+
+    return apply
+
+
+def feasible_result(func: Optional[F] = None, *, where: Optional[str] = None):
+    """Decorator: validate the returned Solution/SEResult/ScheduleResult.
+
+    The wrapped callable's first positional argument after ``self`` (when
+    present) is assumed to be the epoch instance, which covers every solver
+    ``solve(self, instance, ...)`` boundary in this repo.
+    """
+
+    def decorate(inner: F) -> F:
+        label = where or f"{inner.__module__}.{inner.__qualname__}"
+
+        @functools.wraps(inner)
+        def wrapper(*args, **kwargs):
+            result = inner(*args, **kwargs)
+            instance = _find_instance(args, kwargs)
+            check_result_feasible(result, instance=instance, where=label)
+            return result
+
+        return wrapper  # type: ignore[return-value]
+
+    applier = _passthrough_unless_enabled(decorate)
+    if func is not None:
+        return applier(func)
+    return applier
+
+
+def finite_utility(func: Optional[F] = None, *, where: Optional[str] = None):
+    """Decorator: assert a float-returning function never yields NaN/inf."""
+
+    def decorate(inner: F) -> F:
+        label = where or f"{inner.__module__}.{inner.__qualname__}"
+
+        @functools.wraps(inner)
+        def wrapper(*args, **kwargs):
+            result = inner(*args, **kwargs)
+            check_finite_utility(float(result), label)
+            return result
+
+        return wrapper  # type: ignore[return-value]
+
+    applier = _passthrough_unless_enabled(decorate)
+    if func is not None:
+        return applier(func)
+    return applier
+
+
+def sane_instance(func: Optional[F] = None, *, where: Optional[str] = None):
+    """Decorator: validate a returned :class:`EpochInstance`."""
+
+    def decorate(inner: F) -> F:
+        label = where or f"{inner.__module__}.{inner.__qualname__}"
+
+        @functools.wraps(inner)
+        def wrapper(*args, **kwargs):
+            result = inner(*args, **kwargs)
+            check_instance_sane(result, label)
+            return result
+
+        return wrapper  # type: ignore[return-value]
+
+    applier = _passthrough_unless_enabled(decorate)
+    if func is not None:
+        return applier(func)
+    return applier
+
+
+def _find_instance(args: tuple, kwargs: dict) -> Any:
+    if "instance" in kwargs:
+        return kwargs["instance"]
+    for argument in args:
+        if hasattr(argument, "n_min") and hasattr(argument, "capacity"):
+            return argument
+    return None

@@ -1,0 +1,164 @@
+"""Rule registry and file walker for the :mod:`repro.analysis` linter.
+
+A rule is a class with a ``rule_id``, a one-line ``description`` and a
+``check(tree, context)`` method yielding :class:`Diagnostic` records.  Rules
+register themselves via :func:`register_rule`; the engine parses each file
+once and fans the AST out to every enabled rule, then applies the
+``pyproject.toml`` enable/disable and path-ignore configuration.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type
+
+from repro.analysis.config import AnalysisConfig, load_config
+from repro.analysis.diagnostics import Diagnostic, Severity, sort_diagnostics
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """What a rule may know about the file under analysis."""
+
+    path: str  # as given on the command line / test fixture
+    normalized: str  # posix separators, no leading ./
+    source: str
+
+    def in_package(self, *suffixes: str) -> bool:
+        """Does the file live under any of the given path suffixes?
+
+        ``suffixes`` use posix form, e.g. ``"repro/core/"`` (package) or
+        ``"repro/sim/rng.py"`` (single module).
+        """
+        for suffix in suffixes:
+            if suffix.endswith("/"):
+                if f"/{suffix}" in f"/{self.normalized}":
+                    return True
+            elif self.normalized == suffix or self.normalized.endswith("/" + suffix):
+                return True
+        return False
+
+
+class Rule:
+    """Base class for lint rules."""
+
+    rule_id: str = "MV000"
+    description: str = ""
+    severity: Severity = Severity.ERROR
+
+    def check(self, tree: ast.AST, context: FileContext) -> Iterable[Diagnostic]:
+        raise NotImplementedError
+
+    def diagnostic(self, context: FileContext, node: ast.AST, message: str) -> Diagnostic:
+        """Convenience constructor anchoring a finding to an AST node."""
+        return Diagnostic(
+            path=context.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+            severity=self.severity,
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    rule_id = rule_class.rule_id
+    if rule_id in _REGISTRY and _REGISTRY[rule_id] is not rule_class:
+        raise ValueError(f"duplicate rule id {rule_id!r}")
+    _REGISTRY[rule_id] = rule_class
+    return rule_class
+
+
+def registered_rules() -> Dict[str, Type[Rule]]:
+    """Snapshot of the registry (importing ``rules`` populates it)."""
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    return dict(sorted(_REGISTRY.items()))
+
+
+class LintEngine:
+    """Parse files once, run every enabled rule, collect diagnostics."""
+
+    def __init__(self, config: Optional[AnalysisConfig] = None) -> None:
+        self.config = config if config is not None else load_config()
+        self.rules: List[Rule] = [
+            rule_class()
+            for rule_id, rule_class in registered_rules().items()
+            if self.config.rule_enabled(rule_id)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # entry points
+    # ------------------------------------------------------------------ #
+    def lint_paths(self, paths: Sequence[str]) -> List[Diagnostic]:
+        """Lint files and/or directory trees (``.py`` files only)."""
+        diagnostics: List[Diagnostic] = []
+        for path in _walk_python_files(paths):
+            diagnostics.extend(self.lint_file(path))
+        return sort_diagnostics(diagnostics)
+
+    def lint_file(self, path: str) -> List[Diagnostic]:
+        """Lint one file on disk."""
+        normalized = path.replace(os.sep, "/").lstrip("./")
+        if self.config.path_ignored(normalized):
+            return []
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        return self.lint_source(source, path)
+
+    def lint_source(self, source: str, path: str = "<string>") -> List[Diagnostic]:
+        """Lint a source string (the test-fixture entry point)."""
+        normalized = path.replace(os.sep, "/").lstrip("./")
+        if self.config.path_ignored(normalized):
+            return []
+        context = FileContext(path=path, normalized=normalized, source=source)
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            return [
+                Diagnostic(
+                    path=path,
+                    line=error.lineno or 1,
+                    column=(error.offset or 1) - 1,
+                    rule_id="MV000",
+                    message=f"syntax error: {error.msg}",
+                )
+            ]
+        diagnostics: List[Diagnostic] = []
+        for rule in self.rules:
+            if self.config.path_ignored(normalized, rule.rule_id):
+                continue
+            diagnostics.extend(rule.check(tree, context))
+        return sort_diagnostics(diagnostics)
+
+
+def _walk_python_files(paths: Sequence[str]) -> Iterator[str]:
+    seen = set()
+    for path in paths:
+        if os.path.isdir(path):
+            for directory, subdirs, files in os.walk(path):
+                subdirs[:] = sorted(d for d in subdirs if d != "__pycache__")
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        full = os.path.join(directory, name)
+                        if full not in seen:
+                            seen.add(full)
+                            yield full
+        elif path.endswith(".py") and os.path.isfile(path):
+            if path not in seen:
+                seen.add(path)
+                yield path
+
+
+def run_analysis(
+    paths: Sequence[str],
+    config: Optional[AnalysisConfig] = None,
+) -> List[Diagnostic]:
+    """One-call API used by the CLI, ``__main__`` and the tests."""
+    return LintEngine(config=config).lint_paths(paths)

@@ -1,0 +1,472 @@
+"""The MV00x rule set: repo-specific determinism and contract checks.
+
+Each rule encodes one discipline the MVCom reproduction depends on:
+
+* **MV001** all randomness flows through ``repro.sim.rng`` (named streams),
+  never through ``np.random.default_rng`` / ``random.*`` / ``np.random.seed``
+  directly — stream isolation is what keeps Figs. 8-14 ablations comparable.
+* **MV002** no wall-clock reads inside ``repro/{core,sim,chain,baselines}``;
+  simulated time must come from the virtual clock or replay breaks.
+* **MV003** a parameter named ``rng`` must be annotated
+  ``np.random.Generator`` and its function must not also reach for a global
+  RNG — mixing stream and global draws silently couples subsystems.
+* **MV004** no mutable default arguments.
+* **MV005** no bare ``except:`` and no ``except Exception: pass`` silently
+  swallowing errors.
+* **MV006** public functions in ``repro.core`` whose signatures touch
+  ``Solution``/``EpochInstance`` must carry docstrings referencing the
+  paper's units or constraints (``N_min``, ``Ĉ``, eq. numbers, ...), so the
+  code-to-paper mapping stays auditable.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.engine import FileContext, Rule, register_rule
+
+#: Packages whose code must be replayable under a fixed seed.
+REPLAY_PACKAGES = ("repro/core/", "repro/sim/", "repro/chain/", "repro/baselines/")
+
+#: The one module allowed to construct raw generators.
+RNG_MODULE = "repro/sim/rng.py"
+
+
+# ---------------------------------------------------------------------- #
+# import tracking shared by MV001/MV002/MV003
+# ---------------------------------------------------------------------- #
+class _ImportMap:
+    """Local names bound to the modules/objects the RNG/clock rules watch."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.random_modules: Set[str] = set()  # import random [as r]
+        self.numpy_modules: Set[str] = set()  # import numpy [as np]
+        self.numpy_random_modules: Set[str] = set()  # from numpy import random / import numpy.random as nr
+        self.time_modules: Set[str] = set()  # import time [as t]
+        self.datetime_modules: Set[str] = set()  # import datetime [as dt]
+        self.datetime_classes: Set[str] = set()  # from datetime import datetime [as dt]
+        self.date_classes: Set[str] = set()  # from datetime import date
+        self.time_functions: Dict[str, str] = {}  # from time import time -> local name
+        self.random_imports: List[ast.ImportFrom] = []  # from random import ...
+        self.numpy_random_imports: List[Tuple[ast.ImportFrom, str]] = []  # from numpy.random import ...
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "random":
+                        self.random_modules.add(local)
+                    elif alias.name == "numpy":
+                        self.numpy_modules.add(local)
+                    elif alias.name == "numpy.random":
+                        if alias.asname:
+                            self.numpy_random_modules.add(alias.asname)
+                        else:
+                            self.numpy_modules.add("numpy")
+                    elif alias.name == "time":
+                        self.time_modules.add(local)
+                    elif alias.name == "datetime":
+                        self.datetime_modules.add(local)
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "random":
+                    self.random_imports.append(node)
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        self.numpy_random_imports.append((node, alias.name))
+                elif node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            self.numpy_random_modules.add(alias.asname or "random")
+                elif node.module == "time":
+                    for alias in node.names:
+                        self.time_functions[alias.asname or alias.name] = alias.name
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name == "datetime":
+                            self.datetime_classes.add(alias.asname or "datetime")
+                        elif alias.name == "date":
+                            self.date_classes.add(alias.asname or "date")
+
+
+def _attribute_chain(node: ast.expr) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` -> ("a", "b", "c"); None when the base is not a plain name."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def _global_rng_call(node: ast.Call, imports: _ImportMap) -> Optional[str]:
+    """Describe a raw global-RNG call, or None if the call is clean."""
+    chain = _attribute_chain(node.func)
+    if chain is None:
+        if isinstance(node.func, ast.Name):
+            for from_node, name in imports.numpy_random_imports:
+                local = next(
+                    (a.asname or a.name for a in from_node.names if a.name == name), name
+                )
+                if node.func.id == local:
+                    return f"numpy.random.{name}"
+        return None
+    root, rest = chain[0], chain[1:]
+    if root in imports.random_modules and rest:
+        return "random." + ".".join(rest)
+    if root in imports.numpy_modules and len(rest) >= 2 and rest[0] == "random":
+        return "numpy." + ".".join(rest)
+    if root in imports.numpy_random_modules and rest:
+        return "numpy.random." + ".".join(rest)
+    return None
+
+
+# ---------------------------------------------------------------------- #
+# MV001
+# ---------------------------------------------------------------------- #
+@register_rule
+class RawRngRule(Rule):
+    """MV001: raw RNG construction/draws outside ``repro/sim/rng.py``."""
+
+    rule_id = "MV001"
+    description = (
+        "randomness must flow through repro.sim.rng (spawn_rng/RandomStreams); "
+        "no direct np.random.default_rng / np.random.seed / random.* calls"
+    )
+
+    def check(self, tree: ast.AST, context: FileContext) -> Iterator[Diagnostic]:
+        if context.in_package(RNG_MODULE):
+            return
+        imports = _ImportMap(tree)
+        for from_node in imports.random_imports:
+            names = ", ".join(alias.name for alias in from_node.names)
+            yield self.diagnostic(
+                context,
+                from_node,
+                f"'from random import {names}' bypasses the named-stream "
+                "discipline; use repro.sim.rng.spawn_rng/spawn_fast_rng",
+            )
+        for from_node, name in imports.numpy_random_imports:
+            if name == "Generator":
+                continue  # the annotation type, not a draw
+            yield self.diagnostic(
+                context,
+                from_node,
+                f"'from numpy.random import {name}' bypasses the named-stream "
+                "discipline; use repro.sim.rng.spawn_rng",
+            )
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            described = _global_rng_call(node, imports)
+            if described is None:
+                continue
+            if described.startswith("numpy.random.") and described.endswith(".Generator"):
+                continue  # constructing/annotating the type alias is fine
+            yield self.diagnostic(
+                context,
+                node,
+                f"direct call to {described}(); derive a named stream via "
+                "repro.sim.rng.spawn_rng/RandomStreams instead",
+            )
+
+
+# ---------------------------------------------------------------------- #
+# MV002
+# ---------------------------------------------------------------------- #
+_WALL_CLOCK_TIME_ATTRS = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+}
+_WALL_CLOCK_DATETIME_ATTRS = {"now", "utcnow", "today"}
+
+
+@register_rule
+class WallClockRule(Rule):
+    """MV002: wall-clock reads inside replayable packages."""
+
+    rule_id = "MV002"
+    description = (
+        "no wall-clock calls (time.time/monotonic, datetime.now, ...) inside "
+        "repro/{core,sim,chain,baselines}; use the simulation's virtual clock"
+    )
+
+    def check(self, tree: ast.AST, context: FileContext) -> Iterator[Diagnostic]:
+        if not context.in_package(*REPLAY_PACKAGES):
+            return
+        imports = _ImportMap(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            described = self._wall_clock_call(node, imports)
+            if described is not None:
+                yield self.diagnostic(
+                    context,
+                    node,
+                    f"wall-clock call {described}() breaks replayability; "
+                    "thread the simulation clock (or an injectable clock) instead",
+                )
+
+    @staticmethod
+    def _wall_clock_call(node: ast.Call, imports: _ImportMap) -> Optional[str]:
+        if isinstance(node.func, ast.Name):
+            original = imports.time_functions.get(node.func.id)
+            if original in _WALL_CLOCK_TIME_ATTRS:
+                return f"time.{original}"
+            return None
+        chain = _attribute_chain(node.func)
+        if chain is None:
+            return None
+        root, rest = chain[0], chain[1:]
+        if root in imports.time_modules and len(rest) == 1 and rest[0] in _WALL_CLOCK_TIME_ATTRS:
+            return f"time.{rest[0]}"
+        if (
+            root in imports.datetime_modules
+            and len(rest) == 2
+            and rest[0] in ("datetime", "date")
+            and rest[1] in _WALL_CLOCK_DATETIME_ATTRS
+        ):
+            return f"datetime.{rest[0]}.{rest[1]}"
+        if root in imports.datetime_classes and len(rest) == 1 and rest[0] in _WALL_CLOCK_DATETIME_ATTRS:
+            return f"datetime.datetime.{rest[0]}"
+        if root in imports.date_classes and len(rest) == 1 and rest[0] == "today":
+            return "datetime.date.today"
+        return None
+
+
+# ---------------------------------------------------------------------- #
+# MV003
+# ---------------------------------------------------------------------- #
+@register_rule
+class RngParameterRule(Rule):
+    """MV003: ``rng`` parameters must be typed Generators fed by named streams."""
+
+    rule_id = "MV003"
+    description = (
+        "a parameter named 'rng' must be annotated np.random.Generator and its "
+        "function must not also call a global RNG"
+    )
+
+    def check(self, tree: ast.AST, context: FileContext) -> Iterator[Diagnostic]:
+        imports = _ImportMap(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            rng_args = [
+                arg
+                for arg in (
+                    node.args.posonlyargs + node.args.args + node.args.kwonlyargs
+                )
+                if arg.arg == "rng"
+            ]
+            if not rng_args:
+                continue
+            for arg in rng_args:
+                annotation = self._annotation_text(arg)
+                if annotation is None:
+                    yield self.diagnostic(
+                        context,
+                        arg,
+                        f"parameter 'rng' of {node.name}() lacks an annotation; "
+                        "annotate it np.random.Generator",
+                    )
+                elif "Generator" not in annotation:
+                    yield self.diagnostic(
+                        context,
+                        arg,
+                        f"parameter 'rng' of {node.name}() is annotated "
+                        f"{annotation!r}, not np.random.Generator",
+                    )
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.Call):
+                    described = _global_rng_call(inner, imports)
+                    if described is not None and not described.endswith(".Generator"):
+                        yield self.diagnostic(
+                            context,
+                            inner,
+                            f"{node.name}() takes an explicit rng but also calls "
+                            f"{described}(); draw from the passed stream only",
+                        )
+
+    @staticmethod
+    def _annotation_text(arg: ast.arg) -> Optional[str]:
+        if arg.annotation is None:
+            return None
+        text = ast.unparse(arg.annotation)
+        return text.strip("\"'")
+
+
+# ---------------------------------------------------------------------- #
+# MV004
+# ---------------------------------------------------------------------- #
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "OrderedDict", "Counter", "deque"}
+
+
+@register_rule
+class MutableDefaultRule(Rule):
+    """MV004: mutable default arguments are shared across calls."""
+
+    rule_id = "MV004"
+    description = "no mutable default arguments ([], {}, set(), ...)"
+
+    def check(self, tree: ast.AST, context: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            positional = node.args.posonlyargs + node.args.args
+            for arg, default in zip(positional[len(positional) - len(node.args.defaults):], node.args.defaults):
+                if self._mutable(default):
+                    yield self._finding(context, node, arg, default)
+            for arg, default in zip(node.args.kwonlyargs, node.args.kw_defaults):
+                if default is not None and self._mutable(default):
+                    yield self._finding(context, node, arg, default)
+
+    def _finding(self, context: FileContext, func: ast.AST, arg: ast.arg, default: ast.expr) -> Diagnostic:
+        return self.diagnostic(
+            context,
+            default,
+            f"mutable default {ast.unparse(default)!r} for parameter "
+            f"'{arg.arg}' of {func.name}() is shared across calls; default to "
+            "None and construct inside",
+        )
+
+    @staticmethod
+    def _mutable(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in _MUTABLE_CALLS
+        return False
+
+
+# ---------------------------------------------------------------------- #
+# MV005
+# ---------------------------------------------------------------------- #
+@register_rule
+class SilentExceptRule(Rule):
+    """MV005: bare/broad exception handlers that swallow errors."""
+
+    rule_id = "MV005"
+    description = "no bare 'except:' and no 'except Exception: pass' swallowing"
+
+    def check(self, tree: ast.AST, context: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.diagnostic(
+                    context,
+                    node,
+                    "bare 'except:' catches SystemExit/KeyboardInterrupt too; "
+                    "name the exception type",
+                )
+            elif self._broad(node.type) and self._swallows(node.body):
+                yield self.diagnostic(
+                    context,
+                    node,
+                    "'except Exception' with a pass-only body swallows errors "
+                    "silently; handle, log or re-raise",
+                )
+
+    @staticmethod
+    def _broad(annotation: ast.expr) -> bool:
+        names = []
+        if isinstance(annotation, ast.Tuple):
+            names = [e.id for e in annotation.elts if isinstance(e, ast.Name)]
+        elif isinstance(annotation, ast.Name):
+            names = [annotation.id]
+        return any(name in ("Exception", "BaseException") for name in names)
+
+    @staticmethod
+    def _swallows(body: List[ast.stmt]) -> bool:
+        for statement in body:
+            if isinstance(statement, ast.Pass):
+                continue
+            if isinstance(statement, ast.Expr) and isinstance(statement.value, ast.Constant):
+                continue  # docstring or bare Ellipsis
+            return False
+        return True
+
+
+# ---------------------------------------------------------------------- #
+# MV006
+# ---------------------------------------------------------------------- #
+_PAPER_TOKENS = re.compile(
+    r"(\bN_?min\b|Ĉ|\bC_?hat\b|\bcapacit\w*|\bconstraint\w*|\bconst\.|\bcons\.|"
+    r"\butilit\w*|\beq\.|\bTXs?\b|\bfeasib\w*|\bDDL\b|\bcardinalit\w*|:math:)",
+    re.IGNORECASE,
+)
+
+_CORE_TYPES = ("Solution", "EpochInstance")
+
+
+@register_rule
+class PaperContractDocRule(Rule):
+    """MV006: core API touching Solution/EpochInstance must cite the paper contract."""
+
+    rule_id = "MV006"
+    description = (
+        "public repro.core functions touching Solution/EpochInstance need "
+        "docstrings referencing their units or constraint (N_min, Ĉ, eq. ...)"
+    )
+
+    def check(self, tree: ast.AST, context: FileContext) -> Iterator[Diagnostic]:
+        if not context.in_package("repro/core/"):
+            return
+        for node in self._public_functions(tree):
+            if not self._touches_core_types(node):
+                continue
+            docstring = ast.get_docstring(node)
+            if docstring is None:
+                yield self.diagnostic(
+                    context,
+                    node,
+                    f"public core function {node.name}() touches "
+                    "Solution/EpochInstance but has no docstring",
+                )
+            elif not _PAPER_TOKENS.search(docstring):
+                yield self.diagnostic(
+                    context,
+                    node,
+                    f"docstring of {node.name}() does not reference the paper "
+                    "contract (N_min, Ĉ, capacity, utility, eq. ...); the "
+                    "paper mapping must stay auditable",
+                )
+
+    @staticmethod
+    def _public_functions(tree: ast.AST) -> Iterator[ast.FunctionDef]:
+        def walk(body: Iterable[ast.stmt], class_public: bool = True) -> Iterator[ast.FunctionDef]:
+            for statement in body:
+                if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if class_public and not statement.name.startswith("_"):
+                        yield statement
+                elif isinstance(statement, ast.ClassDef):
+                    yield from walk(statement.body, class_public=not statement.name.startswith("_"))
+
+        if isinstance(tree, ast.Module):
+            yield from walk(tree.body)
+
+    @staticmethod
+    def _touches_core_types(node: ast.FunctionDef) -> bool:
+        annotations = [
+            arg.annotation
+            for arg in node.args.posonlyargs + node.args.args + node.args.kwonlyargs
+            if arg.annotation is not None
+        ]
+        if node.returns is not None:
+            annotations.append(node.returns)
+        for annotation in annotations:
+            text = ast.unparse(annotation)
+            if any(core_type in text for core_type in _CORE_TYPES):
+                return True
+        return False

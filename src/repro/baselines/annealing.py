@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.contracts import feasible_result
 from repro.baselines.base import ScheduleResult, Scheduler, random_feasible_start
 from repro.core.problem import EpochInstance
 from repro.core.solution import Solution
@@ -52,6 +53,7 @@ class SimulatedAnnealingScheduler(Scheduler):
         super().__init__(seed=seed)
         self.params = params
 
+    @feasible_result
     def solve(self, instance: EpochInstance, budget_iterations: int) -> ScheduleResult:
         """Anneal over feasible selections within the iteration budget."""
         rng = self._rng(instance)

@@ -66,12 +66,46 @@ class Scheduler(abc.ABC):
     def solve(self, instance: EpochInstance, budget_iterations: int) -> ScheduleResult:
         """Schedule one epoch within an iteration budget."""
 
-    def _rng(self, instance: EpochInstance):
+    def _rng(self, instance: EpochInstance) -> np.random.Generator:
         """A per-(scheduler, instance-size) RNG stream; deterministic per seed."""
         return spawn_rng(self.seed, f"{self.name}:{instance.num_shards}")
 
 
-def greedy_feasible_start(instance: EpochInstance, rng=None) -> Solution:
+def repair_cardinality(instance: EpochInstance, solution: Solution) -> None:
+    """Enforce const. (3) ``count >= N_min`` in place, keeping const. (4).
+
+    Pads with the highest-value unselected shard that still fits the
+    capacity Ĉ; when no shard fits, swaps the heaviest selected shard for
+    the lightest outsider (strictly reducing weight) and retries.
+    Terminates because weight is a strictly decreasing integer across
+    consecutive swaps, and always succeeds when ``n_min <=
+    max_feasible_cardinality`` — which :class:`EpochInstance` guarantees by
+    construction.
+    """
+    tx_counts = instance.tx_counts
+    values = instance.values
+    while solution.count < instance.n_min:
+        unselected = solution.unselected_positions()
+        if len(unselected) == 0:
+            break
+        slack = instance.capacity - solution.weight
+        fitting = unselected[tx_counts[unselected] <= slack]
+        if len(fitting):
+            solution.flip(int(fitting[np.argmax(values[fitting])]))
+            continue
+        selected = solution.selected_positions()
+        if len(selected) == 0:
+            break  # nothing fits at all: n_cap = 0, so n_min = 0 too
+        heaviest = int(selected[np.argmax(tx_counts[selected])])
+        lightest = int(unselected[np.argmin(tx_counts[unselected])])
+        if int(tx_counts[lightest]) >= int(tx_counts[heaviest]):
+            break  # cannot reduce weight further
+        solution.swap(heaviest, lightest)
+
+
+def greedy_feasible_start(
+    instance: EpochInstance, rng: Optional[np.random.Generator] = None
+) -> Solution:
     """A capacity-feasible starting point shared by the iterative baselines.
 
     Packs shards by decreasing value density until the capacity or the value
@@ -90,20 +124,13 @@ def greedy_feasible_start(instance: EpochInstance, rng=None) -> Solution:
             break
         if solution.weight + int(instance.tx_counts[position]) <= instance.capacity:
             solution.flip(position)
-    if solution.count < instance.n_min:
-        for position in np.argsort(instance.tx_counts, kind="stable"):
-            position = int(position)
-            if solution.mask[position]:
-                continue
-            if solution.weight + int(instance.tx_counts[position]) > instance.capacity:
-                continue
-            solution.flip(position)
-            if solution.count >= instance.n_min:
-                break
+    repair_cardinality(instance, solution)
     return solution
 
 
-def random_feasible_start(instance: EpochInstance, rng, max_tries: int = 200) -> Solution:
+def random_feasible_start(
+    instance: EpochInstance, rng: np.random.Generator, max_tries: int = 200
+) -> Solution:
     """A random capacity-feasible subset at a random feasible cardinality."""
     n_hi = max(instance.max_feasible_cardinality, 1)
     n_lo = max(1, min(instance.n_min, n_hi))

@@ -7,6 +7,7 @@ for tests (SE must never lose to it by much) and for the ablation benches.
 
 from __future__ import annotations
 
+from repro.analysis.contracts import feasible_result
 from repro.baselines.base import ScheduleResult, Scheduler, greedy_feasible_start
 from repro.core.problem import EpochInstance
 
@@ -16,6 +17,7 @@ class GreedyDensityScheduler(Scheduler):
 
     name = "Greedy"
 
+    @feasible_result
     def solve(self, instance: EpochInstance, budget_iterations: int = 1) -> ScheduleResult:
         """One-shot density-greedy packing (budget sets the trace length)."""
         solution = greedy_feasible_start(instance)

@@ -25,7 +25,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines.base import ScheduleResult, Scheduler
+from repro.analysis.contracts import feasible_result
+from repro.baselines.base import ScheduleResult, Scheduler, repair_cardinality
 from repro.core.problem import EpochInstance
 from repro.core.solution import Solution
 
@@ -44,6 +45,7 @@ class DynamicProgrammingScheduler(Scheduler):
         self.table_size = table_size
         self.objective = objective
 
+    @feasible_result
     def solve(self, instance: EpochInstance, budget_iterations: int = 1) -> ScheduleResult:
         """One-shot DP knapsack (budget sets the flat trace length)."""
         if self.objective == "throughput":
@@ -51,7 +53,7 @@ class DynamicProgrammingScheduler(Scheduler):
         else:
             item_values = instance.values.astype(np.float64)
         solution = self._knapsack(instance, item_values)
-        self._repair_cardinality(instance, solution)
+        repair_cardinality(instance, solution)
         # DP is one-shot: its "convergence trace" is the flat line the paper
         # plots against the iterative algorithms.
         trace = [solution.utility] * max(budget_iterations, 1)
@@ -97,17 +99,3 @@ class DynamicProgrammingScheduler(Scheduler):
                 slot -= int(weights[item])
         return solution
 
-    @staticmethod
-    def _repair_cardinality(instance: EpochInstance, solution: Solution) -> None:
-        """Pad with the lightest remaining shards until const. (3) holds."""
-        if solution.count >= instance.n_min:
-            return
-        for position in np.argsort(instance.tx_counts, kind="stable"):
-            position = int(position)
-            if solution.mask[position]:
-                continue
-            if solution.weight + int(instance.tx_counts[position]) > instance.capacity:
-                continue
-            solution.flip(position)
-            if solution.count >= instance.n_min:
-                return

@@ -7,6 +7,7 @@ of SE's advantage comes from guidance rather than sheer sampling volume.
 
 from __future__ import annotations
 
+from repro.analysis.contracts import feasible_result
 from repro.baselines.base import ScheduleResult, Scheduler, random_feasible_start
 from repro.core.problem import EpochInstance
 
@@ -16,6 +17,7 @@ class RandomSearchScheduler(Scheduler):
 
     name = "Random"
 
+    @feasible_result
     def solve(self, instance: EpochInstance, budget_iterations: int) -> ScheduleResult:
         """Best of ``budget_iterations`` uniform feasible samples."""
         rng = self._rng(instance)

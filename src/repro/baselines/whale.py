@@ -21,7 +21,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.baselines.base import ScheduleResult, Scheduler
+from repro.analysis.contracts import feasible_result
+from repro.baselines.base import ScheduleResult, Scheduler, repair_cardinality
 from repro.core.problem import EpochInstance
 from repro.core.solution import Solution
 
@@ -46,6 +47,7 @@ class WhaleOptimizationScheduler(Scheduler):
         super().__init__(seed=seed)
         self.params = params
 
+    @feasible_result
     def solve(self, instance: EpochInstance, budget_iterations: int) -> ScheduleResult:
         """Run the whale swarm for ``budget_iterations`` generations."""
         rng = self._rng(instance)
@@ -114,8 +116,9 @@ class WhaleOptimizationScheduler(Scheduler):
 
     @staticmethod
     def _repair(instance: EpochInstance, mask: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        """Drop random selected shards until the capacity holds, then pad
-        with the lightest unselected shards until the cardinality floor holds."""
+        """Drop random selected shards until the capacity Ĉ holds, then
+        enforce the cardinality floor N_min (const. 3) via the shared
+        swap-based repair, so every scored whale is fully feasible."""
         weight = int(instance.tx_counts[mask].sum())
         while weight > instance.capacity:
             selected = np.flatnonzero(mask)
@@ -123,14 +126,7 @@ class WhaleOptimizationScheduler(Scheduler):
             mask[victim] = False
             weight -= int(instance.tx_counts[victim])
         if int(mask.sum()) < instance.n_min:
-            for position in np.argsort(instance.tx_counts, kind="stable"):
-                position = int(position)
-                if mask[position]:
-                    continue
-                if weight + int(instance.tx_counts[position]) > instance.capacity:
-                    continue
-                mask[position] = True
-                weight += int(instance.tx_counts[position])
-                if int(mask.sum()) >= instance.n_min:
-                    break
+            solution = Solution(instance, mask)
+            repair_cardinality(instance, solution)
+            return solution.mask
         return mask

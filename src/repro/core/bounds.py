@@ -73,7 +73,9 @@ def lagrangian_bound(instance: EpochInstance) -> float:
 def certify(instance: EpochInstance, achieved_utility: float) -> dict:
     """Certificate record: how close ``achieved_utility`` is to optimal.
 
-    ``gap_fraction`` is an upper bound on the true optimality gap.
+    The utility upper bound is the tighter of the fractional-knapsack and
+    Lagrangian relaxations of eq. (5) (capacity const. 4 dualised);
+    ``gap_fraction`` is therefore an upper bound on the true optimality gap.
     """
     bound = min(fractional_knapsack_bound(instance), lagrangian_bound(instance))
     if bound <= 0:

@@ -34,12 +34,16 @@ class ExactResult:
     count: int
 
     def as_solution(self, instance: EpochInstance) -> Solution:
-        """Materialise the certified mask as a Solution object."""
+        """Materialise the certified mask as a Solution (utility in paper units)."""
         return Solution(instance, self.mask)
 
 
 def brute_force_optimum(instance: EpochInstance, max_shards: int = 22) -> ExactResult:
-    """Enumerate every subset; certified optimum for small instances."""
+    """Enumerate every subset satisfying const. (3)-(4); certified optimum.
+
+    Only cardinalities >= N_min are visited and subsets over the capacity
+    Ĉ are skipped, so the maximiser of eq. (5) is exact for small epochs.
+    """
     n = instance.num_shards
     if n > max_shards:
         raise ValueError(f"brute force limited to {max_shards} shards, got {n}")

@@ -34,6 +34,8 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.contracts import sane_instance
+
 #: Paper defaults (Section VI-A).
 DEFAULT_ALPHA = 1.5
 DEFAULT_BETA = 2.0
@@ -221,7 +223,12 @@ class EpochInstance:
             raise KeyError(f"shard id {shard_id} not in instance") from None
 
     def without(self, shard_id: int) -> "EpochInstance":
-        """A new instance with one committee removed (leave/failure)."""
+        """A new instance with one committee removed (leave/failure).
+
+        N_min and the capacity cardinality re-derive from the smaller
+        arrived set; the DDL is inherited (the slowest remaining shard
+        still bounds it), so existing values v_i stay comparable.
+        """
         position = self.position_of(shard_id)
         keep = np.ones(self.num_shards, dtype=bool)
         keep[position] = False
@@ -280,6 +287,7 @@ def carry_over_latency(latency: float, previous_ddl: float, floor: float = 1.0) 
     return max(float(latency) - float(previous_ddl), floor)
 
 
+@sane_instance
 def build_instance(
     shards,
     config: MVComConfig,
@@ -287,9 +295,10 @@ def build_instance(
 ) -> EpochInstance:
     """Build an :class:`EpochInstance` from ``ShardRecord``-like objects.
 
-    Accepts any sequence of objects exposing ``shard_id``, ``tx_count`` and
-    ``latency`` (duck-typed so :mod:`repro.data` and :mod:`repro.chain` can
-    both feed the core without import cycles).
+    Accepts any sequence of objects exposing ``shard_id``, ``tx_count``
+    (:math:`s_i`, TXs) and ``latency`` (:math:`l_i`, seconds) — duck-typed
+    so :mod:`repro.data` and :mod:`repro.chain` can both feed the core
+    without import cycles.  N_min/Ĉ gating comes from ``config``.
     """
     shards = list(shards)
     if not shards:

@@ -36,7 +36,6 @@ Both reset the convergence detector.
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -47,7 +46,8 @@ from repro.core.dynamics import CommitteeEvent, DynamicSchedule, EventKind
 from repro.core.problem import DEFAULT_BETA, DEFAULT_TAU, EpochInstance
 from repro.core.solution import Solution
 from repro.core.timers import clamped_exp
-from repro.sim.rng import RandomStreams, derive_seed
+from repro.analysis.contracts import feasible_result
+from repro.sim.rng import RandomStreams, spawn_fast_rng
 
 
 class InfeasibleEpochError(ValueError):
@@ -129,13 +129,14 @@ class _ThreadRng:
     The race needs tens of millions of scalar draws; the stdlib Mersenne
     Twister's C-level ``random()`` is an order of magnitude cheaper per
     call than a ``numpy.random.Generator`` scalar draw, and each thread
-    owning its own seeded instance preserves stream isolation.
+    owning its own named stream (via :func:`repro.sim.rng.spawn_fast_rng`)
+    preserves stream isolation.
     """
 
     __slots__ = ("_rnd",)
 
-    def __init__(self, seed: int) -> None:
-        self._rnd = random.Random(seed)
+    def __init__(self, root_seed: int, name: str) -> None:
+        self._rnd = spawn_fast_rng(root_seed, name)
 
     @property
     def uniform(self):
@@ -150,9 +151,9 @@ class _SolutionThread:
 
     __slots__ = ("cardinality", "rng", "config", "solution", "timer", "active", "sel", "unsel", "loc")
 
-    def __init__(self, cardinality: int, rng: _ThreadRng, config: SEConfig) -> None:
+    def __init__(self, cardinality: int, thread_rng: _ThreadRng, config: SEConfig) -> None:
         self.cardinality = cardinality
-        self.rng = rng
+        self.rng = thread_rng
         self.config = config
         self.solution: Optional[Solution] = None
         self.timer: Optional[tuple] = None
@@ -351,12 +352,18 @@ class StochasticExploration:
     # -------------------------------------------------------------- #
     # public API
     # -------------------------------------------------------------- #
+    @feasible_result
     def solve(
         self,
         instance: EpochInstance,
         schedule: Optional[DynamicSchedule] = None,
     ) -> SEResult:
-        """Run SE on one epoch, optionally with a dynamic event schedule."""
+        """Run SE on one epoch, optionally with a dynamic event schedule.
+
+        The returned best solution satisfies const. (3) ``count >= N_min``
+        and const. (4) ``weight <= Ĉ`` with a finite utility; set
+        ``REPRO_CONTRACTS=1`` to assert this at the boundary.
+        """
         streams = RandomStreams(self.config.seed)
         replicas = self._spawn_replicas(instance, streams)
         if not any(thread.active for replica in replicas for thread in replica.threads):
@@ -451,8 +458,8 @@ class StochasticExploration:
             init_rng = streams.get(f"replica-{replica_id}-init")
             threads = []
             for cardinality in cardinalities:
-                rng = _ThreadRng(derive_seed(streams.seed, f"replica-{replica_id}-n{cardinality}"))
-                thread = _SolutionThread(cardinality=cardinality, rng=rng, config=self.config)
+                rng = _ThreadRng(streams.seed, f"replica-{replica_id}-n{cardinality}")
+                thread = _SolutionThread(cardinality=cardinality, thread_rng=rng, config=self.config)
                 thread.initialize(instance, init_rng)
                 threads.append(thread)
             replicas.append(_Replica(threads))
@@ -527,8 +534,8 @@ class StochasticExploration:
             for cardinality in cardinalities:
                 thread = existing.pop(cardinality, None)
                 if thread is None:
-                    rng = _ThreadRng(derive_seed(streams.seed, f"replica-{replica_id}-dyn-n{cardinality}"))
-                    thread = _SolutionThread(cardinality=cardinality, rng=rng, config=self.config)
+                    rng = _ThreadRng(streams.seed, f"replica-{replica_id}-dyn-n{cardinality}")
+                    thread = _SolutionThread(cardinality=cardinality, thread_rng=rng, config=self.config)
                     thread.initialize(instance, init_rng)
                 elif thread.solution is None or not thread.active:
                     thread.initialize(instance, init_rng)

@@ -43,13 +43,21 @@ class Solution:
     # ------------------------------------------------------------------ #
     @classmethod
     def from_indices(cls, instance: EpochInstance, indices: Iterable[int]) -> "Solution":
-        """Build a selection from an iterable of positions."""
+        """Build a selection from an iterable of positions.
+
+        The cached utility/weight aggregates (eq. 2 and const. 4 terms)
+        are computed once here and maintained in O(1) per move after.
+        """
         mask = np.zeros(instance.num_shards, dtype=bool)
         mask[np.asarray(list(indices), dtype=np.int64)] = True
         return cls(instance, mask)
 
     def copy(self) -> "Solution":
-        """Independent deep copy (shares only the immutable instance)."""
+        """Independent deep copy (shares only the immutable instance).
+
+        Cached utility/weight/cardinality aggregates carry over verbatim,
+        so the copy's feasibility (const. 3-4) matches the original's.
+        """
         clone = Solution.__new__(Solution)
         clone.instance = self.instance
         clone.selected = bytearray(self.selected)
@@ -158,7 +166,9 @@ class Solution:
         """Project this solution onto a *different* instance by shard id.
 
         Used when committees join or leave: positions shift, ids survive.
-        Shards that no longer exist are dropped silently.
+        Shards that no longer exist are dropped silently, and the utility/
+        weight caches recompute against the new instance's values — so
+        feasibility (N_min, Ĉ) must be re-checked by the caller.
         """
         chosen = set(self.selected_ids())
         mask = np.array([sid in chosen for sid in instance.shard_ids], dtype=bool)

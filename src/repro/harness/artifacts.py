@@ -13,7 +13,7 @@ import json
 import os
 import platform
 import time
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -41,15 +41,32 @@ class _ArtifactEncoder(json.JSONEncoder):
         return super().default(value)
 
 
-def build_manifest(preset: Optional[FigurePreset] = None, **extra) -> dict:
-    """Provenance block attached to every artifact."""
+#: Injectable wall-clock used for the ``written_at_unix`` stamp.  Tests (and
+#: anyone needing byte-stable artifacts under a fixed seed) pass a
+#: deterministic callable; ``None`` means the real clock.
+Clock = Callable[[], float]
+
+
+def build_manifest(
+    preset: Optional[FigurePreset] = None,
+    clock: Optional[Clock] = None,
+    **extra,
+) -> dict:
+    """Provenance block attached to every artifact.
+
+    ``clock`` overrides the timestamp source so artifact files can be
+    byte-for-byte reproducible; the default is the real wall clock (this is
+    provenance metadata, deliberately outside the simulation's virtual
+    time).
+    """
     from repro import __version__
 
+    now = time.time if clock is None else clock
     manifest = {
         "repro_version": __version__,
         "python": platform.python_version(),
         "numpy": np.__version__,
-        "written_at_unix": int(time.time()),
+        "written_at_unix": int(now()),
     }
     if preset is not None:
         manifest["preset"] = dataclasses.asdict(preset)
@@ -62,12 +79,13 @@ def write_artifact(
     result: dict,
     preset: Optional[FigurePreset] = None,
     results_dir: Optional[str] = None,
+    clock: Optional[Clock] = None,
 ) -> str:
     """Persist ``result`` + manifest as ``results/<name>.json``; returns the path."""
     directory = results_dir or RESULTS_DIR
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, f"{name}.json")
-    payload = {"experiment": name, "manifest": build_manifest(preset), "result": result}
+    payload = {"experiment": name, "manifest": build_manifest(preset, clock=clock), "result": result}
     with open(path, "w") as handle:
         json.dump(payload, handle, cls=_ArtifactEncoder, indent=2)
     return path

@@ -5,6 +5,7 @@ Usage::
     mvcom list                  # available experiments
     mvcom fig08                 # run one figure, print its table, write CSV
     mvcom all                   # run every figure (slow)
+    mvcom lint [paths...]       # static analysis (rules MV001-MV006)
 """
 
 from __future__ import annotations
@@ -66,8 +67,25 @@ def print_result(name: str, result: dict) -> None:
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(prog="mvcom", description="MVCom reproduction experiments")
-    parser.add_argument("experiment", choices=sorted(RUNNERS) + ["all", "list"], help="figure to run")
+    parser.add_argument(
+        "experiment",
+        choices=sorted(RUNNERS) + ["all", "list", "lint"],
+        help="figure to run, or 'lint' for static analysis",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="paths to lint (lint subcommand only; default: src)",
+    )
     args = parser.parse_args(argv)
+
+    if args.experiment == "lint":
+        from repro.analysis.__main__ import main as lint_main
+
+        return lint_main(args.paths or ["src"])
+
+    if args.paths:
+        parser.error(f"unexpected positional arguments for {args.experiment!r}: {args.paths}")
 
     if args.experiment == "list":
         for name in list_presets():

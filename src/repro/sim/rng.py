@@ -12,6 +12,7 @@ from one root seed.  This gives two properties the experiments rely on:
 from __future__ import annotations
 
 import hashlib
+import random
 from typing import Dict
 
 import numpy as np
@@ -35,6 +36,19 @@ def derive_seed(root_seed: int, name: str) -> int:
 def spawn_rng(root_seed: int, name: str) -> np.random.Generator:
     """Create an independent generator for stream ``name``."""
     return np.random.default_rng(_derive_seed(root_seed, name))
+
+
+def spawn_fast_rng(root_seed: int, name: str) -> random.Random:
+    """Create an independent stdlib ``random.Random`` for stream ``name``.
+
+    Scalar-draw hot paths (the SE timer race) use the Mersenne Twister's
+    C-level ``random()``, which is ~10x cheaper per call than a NumPy
+    ``Generator`` scalar draw.  Seeding it through the same SHA-256
+    derivation keeps the named-stream isolation guarantees; this is the
+    only sanctioned way to obtain a stdlib RNG (lint rule MV001 flags
+    direct ``random.*`` construction everywhere else).
+    """
+    return random.Random(_derive_seed(root_seed, name))
 
 
 class RandomStreams:

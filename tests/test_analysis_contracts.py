@@ -1,0 +1,166 @@
+"""Tests for the opt-in runtime contracts (REPRO_CONTRACTS=1)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.contracts import (
+    ContractViolation,
+    check_finite_utility,
+    check_result_feasible,
+    check_solution_feasible,
+    contracts_enabled,
+    feasible_result,
+    finite_utility,
+    sane_instance,
+)
+from repro.core.problem import EpochInstance, MVComConfig
+from repro.core.solution import Solution
+
+
+@pytest.fixture
+def instance():
+    # n_min = ceil(0.5 * 4) = 2; capacity admits at most the two lightest.
+    return EpochInstance(
+        tx_counts=[100, 200, 300, 400],
+        latencies=[1.0, 2.0, 3.0, 4.0],
+        config=MVComConfig(capacity=600),
+    )
+
+
+@pytest.fixture
+def contracts_on(monkeypatch):
+    monkeypatch.setenv("REPRO_CONTRACTS", "1")
+
+
+@pytest.fixture
+def contracts_off(monkeypatch):
+    monkeypatch.delenv("REPRO_CONTRACTS", raising=False)
+
+
+class TestFlag:
+    def test_enabled_values(self, monkeypatch):
+        for value in ("1", "true", "YES", "on"):
+            monkeypatch.setenv("REPRO_CONTRACTS", value)
+            assert contracts_enabled()
+
+    def test_disabled_by_default(self, contracts_off):
+        assert not contracts_enabled()
+
+    def test_zero_is_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CONTRACTS", "0")
+        assert not contracts_enabled()
+
+
+class TestDirectChecks:
+    def test_feasible_solution_passes(self, instance):
+        solution = Solution.from_indices(instance, [0, 1])
+        check_solution_feasible(solution)  # no raise
+
+    def test_nmin_violation_raises(self, instance):
+        lonely = Solution.from_indices(instance, [0])
+        with pytest.raises(ContractViolation, match="N_min"):
+            check_solution_feasible(lonely)
+
+    def test_capacity_violation_raises(self, instance):
+        heavy = Solution.from_indices(instance, [1, 2, 3])  # 900 TXs > 600
+        with pytest.raises(ContractViolation, match="Ĉ"):
+            check_solution_feasible(heavy)
+
+    def test_nonfinite_utility_raises(self):
+        with pytest.raises(ContractViolation, match="finite"):
+            check_finite_utility(float("nan"))
+
+    def test_result_feasible_understands_schedule_results(self, instance):
+        from repro.baselines.base import ScheduleResult
+
+        good = ScheduleResult.from_solution(
+            "unit", Solution.from_indices(instance, [0, 1]), iterations=1
+        )
+        check_result_feasible(good, instance=instance)  # no raise
+        bad = ScheduleResult.from_solution(
+            "unit", Solution.from_indices(instance, [0]), iterations=1
+        )
+        with pytest.raises(ContractViolation, match="const. 3"):
+            check_result_feasible(bad, instance=instance)
+
+
+class TestDecorators:
+    def test_passthrough_when_disabled(self, contracts_off):
+        def produce():
+            return float("inf")
+
+        assert finite_utility(produce) is produce
+        assert feasible_result(produce) is produce
+        assert sane_instance(produce) is produce
+
+    def test_feasible_result_armed(self, contracts_on, instance):
+        @feasible_result
+        def solver(instance):
+            return Solution.from_indices(instance, [0])  # violates N_min
+
+        with pytest.raises(ContractViolation, match="N_min"):
+            solver(instance)
+
+    def test_feasible_result_accepts_good_solutions(self, contracts_on, instance):
+        @feasible_result
+        def solver(instance):
+            return Solution.from_indices(instance, [0, 1])
+
+        assert solver(instance).count == 2
+
+    def test_finite_utility_armed(self, contracts_on):
+        @finite_utility
+        def utility():
+            return float("nan")
+
+        with pytest.raises(ContractViolation):
+            utility()
+
+    def test_decorated_solver_keeps_metadata(self, contracts_on):
+        @feasible_result
+        def well_named():
+            return None
+
+        assert well_named.__name__ == "well_named"
+        assert well_named() is None  # None results are ignored
+
+    def test_infeasible_capacity_result(self, contracts_on, instance):
+        @feasible_result
+        def solver(instance):
+            solution = Solution(instance, np.ones(instance.num_shards, dtype=bool))
+            return solution  # 1000 TXs > 600
+
+        with pytest.raises(ContractViolation, match="const. 4"):
+            solver(instance)
+
+
+class TestBoundaryWiring:
+    """The real solver boundaries honour the flag end-to-end.
+
+    The decorators read REPRO_CONTRACTS at import time, so a subprocess is
+    the honest way to exercise the armed path of the installed modules.
+    """
+
+    def test_se_solve_contract_armed_in_subprocess(self):
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.core.problem import EpochInstance, MVComConfig\n"
+            "from repro.core.se import SEConfig, StochasticExploration\n"
+            "inst = EpochInstance(tx_counts=[100, 200, 300, 400],\n"
+            "                     latencies=[1.0, 2.0, 3.0, 4.0],\n"
+            "                     config=MVComConfig(capacity=600))\n"
+            "result = StochasticExploration(SEConfig(num_threads=2, max_iterations=100)).solve(inst)\n"
+            "assert result.best_count >= inst.n_min\n"
+            "assert result.best_weight <= inst.capacity\n"
+            "print('armed-ok')\n"
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env={"REPRO_CONTRACTS": "1", "PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "armed-ok" in completed.stdout

@@ -1,0 +1,441 @@
+"""Tests for the repro.analysis lint engine (rules MV001-MV006)."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.config import AnalysisConfig, config_from_section, load_config
+from repro.analysis.engine import LintEngine, registered_rules, run_analysis
+from repro.harness.cli import main as cli_main
+
+ALL_RULES = AnalysisConfig()  # defaults: every rule on, no ignores
+
+
+def lint(source, path="repro/core/somefile.py", config=ALL_RULES):
+    engine = LintEngine(config=config)
+    return engine.lint_source(textwrap.dedent(source), path=path)
+
+
+def rule_hits(diagnostics, rule_id):
+    return [(d.line, d.rule_id) for d in diagnostics if d.rule_id == rule_id]
+
+
+# ---------------------------------------------------------------------- #
+# registry
+# ---------------------------------------------------------------------- #
+def test_registry_ships_the_six_rules():
+    assert set(registered_rules()) >= {"MV001", "MV002", "MV003", "MV004", "MV005", "MV006"}
+
+
+# ---------------------------------------------------------------------- #
+# MV001 raw RNG
+# ---------------------------------------------------------------------- #
+class TestMV001:
+    def test_default_rng_flagged(self):
+        bad = """
+        import numpy as np
+
+        def draw():
+            return np.random.default_rng(42).random()
+        """
+        hits = rule_hits(lint(bad), "MV001")
+        assert hits == [(5, "MV001")]
+
+    def test_np_random_seed_flagged(self):
+        bad = """
+        import numpy as np
+        np.random.seed(0)
+        """
+        assert rule_hits(lint(bad), "MV001") == [(3, "MV001")]
+
+    def test_stdlib_random_module_flagged(self):
+        bad = """
+        import random
+
+        def draw():
+            random.seed(1)
+            return random.random()
+        """
+        assert rule_hits(lint(bad), "MV001") == [(5, "MV001"), (6, "MV001")]
+
+    def test_from_random_import_flagged(self):
+        bad = """
+        from random import shuffle
+        """
+        assert rule_hits(lint(bad), "MV001") == [(2, "MV001")]
+
+    def test_random_Random_construction_flagged(self):
+        bad = """
+        import random
+        rng = random.Random(7)
+        """
+        assert rule_hits(lint(bad), "MV001") == [(3, "MV001")]
+
+    def test_rng_module_itself_exempt(self):
+        allowed = """
+        import random
+        import numpy as np
+
+        def spawn(seed):
+            return np.random.default_rng(seed), random.Random(seed)
+        """
+        assert lint(allowed, path="src/repro/sim/rng.py") == []
+
+    def test_named_stream_usage_clean(self):
+        good = """
+        from repro.sim.rng import spawn_rng
+
+        def draw(seed):
+            return spawn_rng(seed, "pow").random()
+        """
+        assert rule_hits(lint(good), "MV001") == []
+
+    def test_generator_annotation_not_flagged(self):
+        good = """
+        import numpy as np
+
+        def use(rng: np.random.Generator) -> float:
+            return rng.random()
+        """
+        assert rule_hits(lint(good), "MV001") == []
+
+
+# ---------------------------------------------------------------------- #
+# MV002 wall clock
+# ---------------------------------------------------------------------- #
+class TestMV002:
+    def test_time_time_flagged_in_core(self):
+        bad = """
+        import time
+
+        def stamp():
+            return time.time()
+        """
+        assert rule_hits(lint(bad, path="src/repro/core/x.py"), "MV002") == [(5, "MV002")]
+
+    def test_from_time_import_flagged(self):
+        bad = """
+        from time import monotonic
+
+        def stamp():
+            return monotonic()
+        """
+        assert rule_hits(lint(bad, path="src/repro/sim/x.py"), "MV002") == [(5, "MV002")]
+
+    def test_datetime_now_flagged(self):
+        bad = """
+        from datetime import datetime
+
+        def stamp():
+            return datetime.now()
+        """
+        assert rule_hits(lint(bad, path="src/repro/chain/x.py"), "MV002") == [(5, "MV002")]
+
+    def test_harness_is_out_of_scope(self):
+        timed = """
+        import time
+
+        def stamp():
+            return time.time()
+        """
+        assert rule_hits(lint(timed, path="src/repro/harness/x.py"), "MV002") == []
+
+    def test_virtual_clock_clean(self):
+        good = """
+        def advance(clock):
+            return clock.now() + 1.0
+        """
+        assert rule_hits(lint(good, path="src/repro/sim/x.py"), "MV002") == []
+
+
+# ---------------------------------------------------------------------- #
+# MV003 rng parameter typing
+# ---------------------------------------------------------------------- #
+class TestMV003:
+    def test_unannotated_rng_flagged(self):
+        bad = """
+        def pick(instance, rng):
+            return rng.integers(10)
+        """
+        assert rule_hits(lint(bad), "MV003") == [(2, "MV003")]
+
+    def test_wrongly_annotated_rng_flagged(self):
+        bad = """
+        def pick(instance, rng: int):
+            return rng
+        """
+        assert rule_hits(lint(bad), "MV003") == [(2, "MV003")]
+
+    def test_generator_annotation_clean(self):
+        good = """
+        import numpy as np
+
+        def pick(instance, rng: np.random.Generator):
+            return rng.integers(10)
+        """
+        assert rule_hits(lint(good), "MV003") == []
+
+    def test_string_annotation_accepted(self):
+        good = """
+        def pick(instance, rng: "np.random.Generator"):
+            return rng.integers(10)
+        """
+        assert rule_hits(lint(good), "MV003") == []
+
+    def test_rng_param_plus_global_rng_flagged(self):
+        bad = """
+        import numpy as np
+
+        def pick(instance, rng: np.random.Generator):
+            return rng.integers(10) + np.random.default_rng().integers(10)
+        """
+        hits = rule_hits(lint(bad), "MV003")
+        assert hits == [(5, "MV003")]
+
+
+# ---------------------------------------------------------------------- #
+# MV004 mutable defaults
+# ---------------------------------------------------------------------- #
+class TestMV004:
+    def test_list_default_flagged(self):
+        bad = """
+        def collect(items=[]):
+            return items
+        """
+        assert rule_hits(lint(bad), "MV004") == [(2, "MV004")]
+
+    def test_dict_and_set_call_defaults_flagged(self):
+        bad = """
+        def collect(a={}, *, b=set()):
+            return a, b
+        """
+        assert len(rule_hits(lint(bad), "MV004")) == 2
+
+    def test_none_default_clean(self):
+        good = """
+        def collect(items=None):
+            return items or []
+        """
+        assert rule_hits(lint(good), "MV004") == []
+
+
+# ---------------------------------------------------------------------- #
+# MV005 silent except
+# ---------------------------------------------------------------------- #
+class TestMV005:
+    def test_bare_except_flagged(self):
+        bad = """
+        def risky():
+            try:
+                return 1
+            except:
+                return 0
+        """
+        assert rule_hits(lint(bad), "MV005") == [(5, "MV005")]
+
+    def test_except_exception_pass_flagged(self):
+        bad = """
+        def risky():
+            try:
+                return 1
+            except Exception:
+                pass
+        """
+        assert rule_hits(lint(bad), "MV005") == [(5, "MV005")]
+
+    def test_handled_exception_clean(self):
+        good = """
+        def risky(log):
+            try:
+                return 1
+            except ValueError:
+                return 0
+            except Exception as error:
+                log(error)
+                raise
+        """
+        assert rule_hits(lint(good), "MV005") == []
+
+
+# ---------------------------------------------------------------------- #
+# MV006 paper-contract docstrings
+# ---------------------------------------------------------------------- #
+class TestMV006:
+    def test_missing_docstring_flagged(self):
+        bad = """
+        from repro.core.problem import EpochInstance
+
+        def schedule(instance: EpochInstance) -> float:
+            return 0.0
+        """
+        assert rule_hits(lint(bad, path="src/repro/core/x.py"), "MV006") == [(4, "MV006")]
+
+    def test_docstring_without_paper_tokens_flagged(self):
+        bad = '''
+        from repro.core.solution import Solution
+
+        def polish(solution: Solution) -> Solution:
+            """Make it better."""
+            return solution
+        '''
+        assert rule_hits(lint(bad, path="src/repro/core/x.py"), "MV006") == [(4, "MV006")]
+
+    def test_constraint_reference_clean(self):
+        good = '''
+        from repro.core.solution import Solution
+
+        def polish(solution: Solution) -> Solution:
+            """Improve utility while keeping const. (3) N_min and capacity."""
+            return solution
+        '''
+        assert rule_hits(lint(good, path="src/repro/core/x.py"), "MV006") == []
+
+    def test_private_functions_out_of_scope(self):
+        private = """
+        from repro.core.solution import Solution
+
+        def _scratch(solution: Solution) -> Solution:
+            return solution
+        """
+        assert rule_hits(lint(private, path="src/repro/core/x.py"), "MV006") == []
+
+    def test_non_core_paths_out_of_scope(self):
+        elsewhere = """
+        from repro.core.solution import Solution
+
+        def helper(solution: Solution) -> Solution:
+            return solution
+        """
+        assert rule_hits(lint(elsewhere, path="src/repro/baselines/x.py"), "MV006") == []
+
+
+# ---------------------------------------------------------------------- #
+# configuration
+# ---------------------------------------------------------------------- #
+BAD_MV004 = """
+def collect(items=[]):
+    return items
+"""
+
+
+class TestConfig:
+    def test_disable_silences_a_rule(self):
+        config = config_from_section({"disable": ["MV004"]})
+        assert lint(BAD_MV004, config=config) == []
+
+    def test_enable_allowlist(self):
+        config = config_from_section({"enable": ["MV001"]})
+        assert lint(BAD_MV004, config=config) == []
+        config = config_from_section({"enable": ["MV004"]})
+        assert len(lint(BAD_MV004, config=config)) == 1
+
+    def test_path_ignore_skips_file(self):
+        config = config_from_section({"ignore": ["repro/core/legacy/*"]})
+        assert lint(BAD_MV004, path="repro/core/legacy/x.py", config=config) == []
+        assert len(lint(BAD_MV004, path="repro/core/fresh/x.py", config=config)) == 1
+
+    def test_per_rule_ignore(self):
+        config = config_from_section(
+            {"per-rule-ignore": {"MV004": ["repro/core/somefile.py"]}}
+        )
+        assert lint(BAD_MV004, config=config) == []
+        config = config_from_section(
+            {"per-rule-ignore": {"MV001": ["repro/core/somefile.py"]}}
+        )
+        assert len(lint(BAD_MV004, config=config)) == 1
+
+    def test_pyproject_round_trip(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "\n".join(
+                [
+                    "[tool.repro.analysis]",
+                    'disable = ["MV006"]',
+                    'ignore = ["vendored/*"]',
+                    "",
+                    "[tool.repro.analysis.per-rule-ignore]",
+                    'MV002 = ["repro/chain/measurement.py"]',
+                ]
+            )
+        )
+        config = load_config(pyproject_path=str(pyproject))
+        assert not config.rule_enabled("MV006")
+        assert config.rule_enabled("MV001")
+        assert config.path_ignored("vendored/x.py")
+        assert config.path_ignored("repro/chain/measurement.py", "MV002")
+        assert not config.path_ignored("repro/chain/measurement.py", "MV001")
+
+    def test_repo_pyproject_loads(self):
+        config = load_config()
+        assert config.source is not None  # found the repo's pyproject.toml
+
+    def test_toml_subset_fallback_parser(self):
+        # The 3.9/3.10 path (no tomllib); must decode the config shapes we use.
+        from repro.analysis.config import _parse_toml_subset
+
+        parsed = _parse_toml_subset(
+            "\n".join(
+                [
+                    "# comment",
+                    "[tool.repro.analysis]",
+                    'disable = ["MV006", "MV004"]  # trailing comment',
+                    "ignore = [",
+                    '    "vendored/*",',
+                    '    "generated/*",',
+                    "]",
+                    "threshold = 3",
+                    "strict = true",
+                    "",
+                    "[tool.repro.analysis.per-rule-ignore]",
+                    'MV002 = ["repro/chain/measurement.py"]',
+                ]
+            )
+        )
+        section = parsed["tool"]["repro"]["analysis"]
+        assert section["disable"] == ["MV006", "MV004"]
+        assert section["ignore"] == ["vendored/*", "generated/*"]
+        assert section["threshold"] == 3
+        assert section["strict"] is True
+        assert section["per-rule-ignore"]["MV002"] == ["repro/chain/measurement.py"]
+
+
+# ---------------------------------------------------------------------- #
+# whole-tree + CLI
+# ---------------------------------------------------------------------- #
+class TestTreeAndCli:
+    def test_repo_source_tree_is_clean(self):
+        diagnostics = run_analysis(["src"])
+        assert diagnostics == []
+
+    def test_mvcom_lint_runs_clean_on_repo(self, capsys):
+        assert cli_main(["lint", "src/"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_module_entry_point_nonzero_on_findings(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "core" / "dirty.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import numpy as np\nrng = np.random.default_rng(3)\n")
+        from repro.analysis.__main__ import main as module_main
+
+        # point at an empty config so the repo config cannot ignore it
+        empty = tmp_path / "pyproject.toml"
+        empty.write_text("")
+        assert module_main([str(bad), "--config", str(empty)]) == 1
+        out = capsys.readouterr().out
+        assert "MV001" in out and "dirty.py:2" in out
+
+    def test_module_entry_point_rejects_missing_config(self, tmp_path, capsys):
+        from repro.analysis.__main__ import main as module_main
+
+        assert module_main(["src", "--config", str(tmp_path / "missing.toml")]) == 2
+        assert "--config file not found" in capsys.readouterr().err
+
+    def test_module_entry_point_rejects_missing_path(self, capsys):
+        from repro.analysis.__main__ import main as module_main
+
+        assert module_main(["no/such/dir"]) == 2
+        assert "no such file or directory" in capsys.readouterr().err
+
+    def test_syntax_error_reported_not_raised(self):
+        diagnostics = LintEngine(config=ALL_RULES).lint_source("def broken(:\n", path="x.py")
+        assert diagnostics and diagnostics[0].rule_id == "MV000"
