@@ -11,10 +11,12 @@ from repro.harness.report import traces_table, traces_to_rows, write_csv
 from repro.harness.textplot import line_plot
 
 
-def test_fig08_gamma_sweep(benchmark):
+def test_fig08_gamma_sweep(benchmark, perf_recorder):
     result = benchmark.pedantic(run_fig08_parallel_threads, rounds=1, iterations=1)
 
     traces = result["traces"]
+    for series, trace in traces.items():
+        perf_recorder(f"fig08_{series}", trace=trace)
     print()
     print(line_plot(traces, title=f"Fig. 8: SE convergence, {result['instance']}"))
     print(traces_table(traces, title="Fig. 8 trace checkpoints"))

@@ -5,9 +5,23 @@ the figure's *qualitative shape* (who wins, directions of trends), prints
 the series as an aligned table, and writes CSVs under ``results/``.
 Absolute values come from our simulator, not the authors' testbed, so no
 bench asserts a specific number from the paper.
+
+Benches can also push SE-solve performance records into the session-scoped
+``perf_recorder`` fixture; at session end every record lands in
+``BENCH_se_convergence.json`` at the repo root (wall-time per solve,
+iteration counts, and the converged-utility statistics from
+:func:`repro.metrics.traces.trace_statistics`).
 """
 
+import json
+from pathlib import Path
+
 import pytest
+
+#: Repo-root perf log written by :func:`pytest_sessionfinish`.
+BENCH_RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_se_convergence.json"
+
+_PERF_RECORDS = {}
 
 
 def emit(capsys_or_none, text: str) -> None:
@@ -20,3 +34,33 @@ def emit(capsys_or_none, text: str) -> None:
 def bench_results():
     """Session-scoped cache so multi-test benches reuse one expensive run."""
     return {}
+
+
+@pytest.fixture(scope="session")
+def perf_recorder():
+    """Collect named SE-solve perf records for ``BENCH_se_convergence.json``.
+
+    Call it as ``perf_recorder(name, wall_s=..., trace=[...], **extra)``;
+    the trace is summarised via ``trace_statistics`` so the JSON carries
+    converged utility and iteration counts, not raw series.
+    """
+    from repro.metrics.traces import trace_statistics
+
+    def record(name, wall_s=None, trace=None, **extra):
+        entry = dict(extra)
+        if wall_s is not None:
+            entry["wall_s_per_solve"] = float(wall_s)
+        if trace is not None:
+            entry.update(trace_statistics(trace))
+        _PERF_RECORDS[name] = entry
+        return entry
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write accumulated perf records once, after the whole bench session."""
+    if _PERF_RECORDS:
+        BENCH_RECORD_PATH.write_text(
+            json.dumps(_PERF_RECORDS, indent=2, sort_keys=True) + "\n"
+        )

@@ -17,6 +17,10 @@ Each rule encodes one discipline the MVCom reproduction depends on:
   ``Solution``/``EpochInstance`` must carry docstrings referencing the
   paper's units or constraints (``N_min``, ``Ĉ``, eq. numbers, ...), so the
   code-to-paper mapping stays auditable.
+* **MV007** replayable packages never construct their own telemetry hub or
+  sinks (``Telemetry``/``JsonlSink``/``RingBufferSink``): the hub — and with
+  it any clock — must arrive as a parameter, defaulting to the inert
+  ``NULL_TELEMETRY``.  Only the harness owns wall clocks and trace files.
 """
 
 from __future__ import annotations
@@ -470,3 +474,67 @@ class PaperContractDocRule(Rule):
             if any(core_type in text for core_type in _CORE_TYPES):
                 return True
         return False
+
+
+# ---------------------------------------------------------------------- #
+# MV007
+# ---------------------------------------------------------------------- #
+#: Live observability objects a replayable package must receive, not build.
+#: ``NullTelemetry`` is deliberately absent: constructing the inert default
+#: is always safe.
+_LIVE_OBS_NAMES = ("Telemetry", "JsonlSink", "RingBufferSink")
+
+
+@register_rule
+class InjectedTelemetryRule(Rule):
+    """MV007: replayable packages receive their telemetry hub, never build one."""
+
+    rule_id = "MV007"
+    description = (
+        "no Telemetry/JsonlSink/RingBufferSink construction inside "
+        "repro/{core,sim,chain,baselines}; accept a telemetry parameter "
+        "(default NULL_TELEMETRY) so clocks and sinks stay injected"
+    )
+
+    def check(self, tree: ast.AST, context: FileContext) -> Iterator[Diagnostic]:
+        if not context.in_package(*REPLAY_PACKAGES):
+            return
+        local_names: Dict[str, str] = {}  # local name -> qualified obs name
+        obs_modules: Set[str] = set()  # local aliases of repro.obs[.x] modules
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module and node.module.startswith("repro.obs"):
+                    for alias in node.names:
+                        if alias.name in _LIVE_OBS_NAMES:
+                            local_names[alias.asname or alias.name] = (
+                                f"{node.module}.{alias.name}"
+                            )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "repro.obs" or alias.name.startswith("repro.obs."):
+                        obs_modules.add(alias.asname or alias.name.split(".")[0])
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            described = self._live_construction(node, local_names, obs_modules)
+            if described is not None:
+                yield self.diagnostic(
+                    context,
+                    node,
+                    f"replayable code constructs {described}(); take a "
+                    "'telemetry' parameter (default NULL_TELEMETRY) instead — "
+                    "only the harness may own hubs, clocks and sinks",
+                )
+
+    @staticmethod
+    def _live_construction(
+        node: ast.Call, local_names: Dict[str, str], obs_modules: Set[str]
+    ) -> Optional[str]:
+        if isinstance(node.func, ast.Name):
+            return local_names.get(node.func.id)
+        chain = _attribute_chain(node.func)
+        if chain is None:
+            return None
+        if chain[0] in obs_modules and chain[-1] in _LIVE_OBS_NAMES:
+            return ".".join(chain)
+        return None

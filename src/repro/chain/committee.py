@@ -15,6 +15,7 @@ from repro.chain.blocks import ShardBlock
 from repro.chain.node import Node
 from repro.chain.params import ChainParams
 from repro.chain.pbft import run_pbft_round
+from repro.obs.telemetry import NULL_TELEMETRY, NullTelemetry
 
 
 @dataclass
@@ -65,6 +66,7 @@ class Committee:
         params: ChainParams,
         rng: np.random.Generator,
         verify_mean_s: Optional[float] = None,
+        telemetry: NullTelemetry = NULL_TELEMETRY,
     ) -> Optional[ShardBlock]:
         """Run stage 3 (PBFT) and produce this committee's shard block.
 
@@ -83,6 +85,7 @@ class Committee:
             network_params=params.network,
             verify_mean_s=verify_mean_s,
             round_tag=f"epoch{self.epoch}-committee{self.committee_id}",
+            telemetry=telemetry,
         )
         if not outcome.committed:
             return None

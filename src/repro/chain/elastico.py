@@ -30,6 +30,7 @@ from repro.chain.params import ChainParams
 from repro.chain.pow import committee_fill_times, committee_members, run_pow_election
 from repro.chain.randomness import GENESIS_RANDOMNESS, refresh_randomness
 from repro.core.problem import MVComConfig
+from repro.obs.telemetry import NULL_TELEMETRY, NullTelemetry
 from repro.sim.rng import RandomStreams
 
 
@@ -59,8 +60,12 @@ class ElasticoSimulation:
         params: ChainParams,
         mvcom_config: Optional[MVComConfig] = None,
         scheduler: Optional[SchedulerFn] = None,
+        telemetry: NullTelemetry = NULL_TELEMETRY,
     ) -> None:
         self.params = params
+        #: Injected hub (rule MV007), threaded into every PBFT round and the
+        #: final-consensus stage; each epoch also emits one ``chain.epoch``.
+        self.telemetry = telemetry
         self.mvcom_config = mvcom_config or MVComConfig(capacity=1000 * max(params.num_committees, 1))
         self.scheduler = scheduler or take_everything
         self.streams = RandomStreams(params.seed)
@@ -139,7 +144,7 @@ class ElasticoSimulation:
         final_seat = committees[-1]
         shard_blocks = []
         for committee in member_committees:
-            block = committee.run_intra_consensus(self.params, rng)
+            block = committee.run_intra_consensus(self.params, rng, telemetry=self.telemetry)
             if block is not None:
                 shard_blocks.append(block)
 
@@ -151,7 +156,9 @@ class ElasticoSimulation:
             scheduler=self.scheduler,
         )
         final_result = (
-            final_committee.run(shard_blocks, self.chain, self.randomness, rng)
+            final_committee.run(
+                shard_blocks, self.chain, self.randomness, rng, telemetry=self.telemetry
+            )
             if shard_blocks
             else None
         )
@@ -192,5 +199,16 @@ class ElasticoSimulation:
                 if c.consensus_latency is not None
             },
         )
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "chain.epoch",
+                epoch=outcome.epoch,
+                committees=len(committees),
+                shards_submitted=len(shard_blocks),
+                shards_permitted=(
+                    int(final_result.permitted_mask.sum()) if final_result is not None else 0
+                ),
+                committed=final_result is not None,
+            )
         self.epoch += 1
         return outcome

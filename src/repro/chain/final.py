@@ -20,6 +20,7 @@ from repro.chain.committee import Committee, calibrated_verify_mean
 from repro.chain.params import ChainParams
 from repro.chain.pbft import run_pbft_round
 from repro.core.problem import EpochInstance, MVComConfig, build_instance
+from repro.obs.telemetry import NULL_TELEMETRY, NullTelemetry
 
 #: A scheduler maps an epoch instance to a boolean selection mask.
 SchedulerFn = Callable[[EpochInstance], np.ndarray]
@@ -81,6 +82,7 @@ class FinalCommittee:
         chain: RootChain,
         randomness: str,
         rng: np.random.Generator,
+        telemetry: NullTelemetry = NULL_TELEMETRY,
     ) -> Optional[FinalConsensusResult]:
         """Execute stage 4: schedule shards, run final PBFT, append the block."""
         if not shard_blocks:
@@ -99,8 +101,15 @@ class FinalCommittee:
             network_params=self.params.network,
             verify_mean_s=calibrated_verify_mean(self.params),
             round_tag=f"epoch{self.committee.epoch}-final",
+            telemetry=telemetry,
         )
         if not outcome.committed:
+            if telemetry.enabled:
+                telemetry.event(
+                    "chain.final.stalled",
+                    epoch=self.committee.epoch,
+                    arrived=len(arrived),
+                )
             return None
 
         permitted = [arrived[i] for i in np.flatnonzero(mask)]
@@ -113,6 +122,22 @@ class FinalCommittee:
             randomness=randomness,
         )
         chain.append(block)
+        if telemetry.enabled:
+            # The mempool-age view of the commit: every permitted shard's
+            # TXs waited ddl - latency seconds (Fig. 3's cumulative age).
+            telemetry.record_span("chain.final.arrival_window", 0.0, instance.ddl,
+                                  epoch=self.committee.epoch, arrived=len(arrived))
+            for age in instance.ages[mask]:
+                telemetry.observe("chain.mempool.age_s", float(age))
+            telemetry.event(
+                "chain.final.commit",
+                epoch=self.committee.epoch,
+                permitted=int(mask.sum()),
+                arrived=len(arrived),
+                txs=block.total_txs,
+                ddl=instance.ddl,
+                pbft_latency=outcome.latency,
+            )
         return FinalConsensusResult(
             block=block,
             instance=instance,

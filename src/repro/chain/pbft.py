@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.chain.network import Message, Network
 from repro.chain.node import Node
+from repro.obs.telemetry import NULL_TELEMETRY, NullTelemetry
 from repro.sim.engine import SimulationEngine
 
 
@@ -84,6 +85,7 @@ class PbftRound:
         start_time: float = 0.0,
         round_tag: str = "round-0",
         view_change_timeout_s: Optional[float] = None,
+        telemetry: NullTelemetry = NULL_TELEMETRY,
     ) -> None:
         if len(members) < 4:
             raise ValueError("PBFT needs at least 4 members (3f+1, f >= 1)")
@@ -102,6 +104,9 @@ class PbftRound:
         self.start_time = start_time
         self.round_tag = round_tag
         self.view_change_timeout_s = view_change_timeout_s
+        #: Injected hub (rule MV007): the committed round lands as one
+        #: ``chain.pbft.round`` span on simulation time; view changes as events.
+        self.telemetry = telemetry
         self.fault_budget = (len(self.members) - 1) // 3
         self.view = 0
         self.outcome = PbftOutcome(committed=False, start_time=start_time, commit_time=None)
@@ -168,6 +173,13 @@ class PbftRound:
             self._view_change_votes = set()
             self.view += 1
             self.outcome.stage_times[f"new-view-{self.view}"] = self.engine.now
+            if self.telemetry.enabled:
+                self.telemetry.event(
+                    "chain.pbft.view_change",
+                    tag=self.round_tag,
+                    view=self.view,
+                    at=self.engine.now,
+                )
             # Reset per-replica vote state for the new view.
             for state in self._states.values():
                 state.preprepared = False
@@ -257,6 +269,16 @@ class PbftRound:
                 self.outcome.committed = True
                 self.outcome.commit_time = self.engine.now
                 self.outcome.stage_times["commit-quorum"] = self.engine.now
+                if self.telemetry.enabled:
+                    self.telemetry.record_span(
+                        "chain.pbft.round",
+                        self.start_time,
+                        self.engine.now,
+                        tag=self.round_tag,
+                        view=self.view,
+                        members=len(self.members),
+                        stages=dict(self.outcome.stage_times),
+                    )
 
 
 def run_pbft_round(
@@ -265,9 +287,10 @@ def run_pbft_round(
     network_params,
     verify_mean_s: float,
     round_tag: str = "round-0",
+    telemetry: NullTelemetry = NULL_TELEMETRY,
 ) -> PbftOutcome:
     """Convenience wrapper: run a single round on a fresh engine to completion."""
-    engine = SimulationEngine()
+    engine = SimulationEngine(telemetry=telemetry)
     network = Network(engine, network_params, rng)
     pbft = PbftRound(
         engine=engine,
@@ -276,6 +299,7 @@ def run_pbft_round(
         rng=rng,
         verify_mean_s=verify_mean_s,
         round_tag=round_tag,
+        telemetry=telemetry,
     )
     engine.run()
     return pbft.outcome

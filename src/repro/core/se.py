@@ -47,6 +47,7 @@ from repro.core.problem import DEFAULT_BETA, DEFAULT_TAU, EpochInstance
 from repro.core.solution import Solution
 from repro.core.timers import clamped_exp
 from repro.analysis.contracts import feasible_result
+from repro.obs.telemetry import NULL_TELEMETRY, NullTelemetry
 from repro.sim.rng import RandomStreams, spawn_fast_rng
 
 
@@ -149,7 +150,7 @@ class _ThreadRng:
 class _SolutionThread:
     """One solution thread :math:`f_n` (state machine of Fig. 6)."""
 
-    __slots__ = ("cardinality", "rng", "config", "solution", "timer", "active", "sel", "unsel", "loc")
+    __slots__ = ("cardinality", "rng", "config", "solution", "timer", "active", "sel", "unsel", "loc", "last_swap")
 
     def __init__(self, cardinality: int, thread_rng: _ThreadRng, config: SEConfig) -> None:
         self.cardinality = cardinality
@@ -164,6 +165,7 @@ class _SolutionThread:
         self.sel: list = []
         self.unsel: list = []
         self.loc: list = []
+        self.last_swap: Optional[tuple] = None
 
     def set_solution(self, solution: Optional[Solution]) -> None:
         """Install a solution and rebuild the pair-sampling index lists."""
@@ -282,6 +284,7 @@ class _SolutionThread:
         self.sel[slot_out] = index_in
         self.unsel[slot_in] = index_out
         loc[index_in], loc[index_out] = slot_out, slot_in
+        self.last_swap = (index_out, index_in)
         self.timer = None
 
     @property
@@ -344,10 +347,23 @@ def should_bootstrap(instance: EpochInstance) -> bool:
 
 
 class StochasticExploration:
-    """Driver implementing Alg. 1's event loop over Γ executor replicas."""
+    """Driver implementing Alg. 1's event loop over Γ executor replicas.
 
-    def __init__(self, config: SEConfig = SEConfig()) -> None:
+    ``telemetry`` is an injected :class:`repro.obs.telemetry.NullTelemetry`
+    hub (rule MV007: core never constructs its own -- that would smuggle a
+    clock into replayable code).  With the default ``NULL_TELEMETRY`` the
+    race loop pays only a hoisted boolean check, and :meth:`solve` produces
+    byte-identical results either way: the instrumentation draws no
+    randomness and never branches on telemetry state.
+    """
+
+    def __init__(
+        self,
+        config: SEConfig = SEConfig(),
+        telemetry: NullTelemetry = NULL_TELEMETRY,
+    ) -> None:
         self.config = config
+        self.telemetry = telemetry
 
     # -------------------------------------------------------------- #
     # public API
@@ -373,6 +389,20 @@ class StochasticExploration:
         if schedule is not None:
             schedule.reset()
 
+        telemetry = self.telemetry
+        traced = telemetry.enabled  # hoisted so the race loop pays one load
+        if traced:
+            cardinalities = [t.cardinality for t in replicas[0].threads]
+            telemetry.event(
+                "se.bootstrap",
+                replicas=len(replicas),
+                solution_threads=len(cardinalities),
+                n_lo=min(cardinalities),
+                n_hi=max(cardinalities),
+                num_shards=instance.num_shards,
+                capacity=instance.capacity,
+            )
+
         detector = ConvergenceDetector(
             window=self.config.convergence_window, tolerance=self.config.tolerance
         )
@@ -396,22 +426,68 @@ class StochasticExploration:
                     best = self._rebase_best(best, instance)
                     best = self._pick_better(best, self._best_current(replicas))
                     best = self._maybe_full_solution(instance, best)
+                    if traced:
+                        for event in fired_events:
+                            telemetry.event(
+                                "se.dynamic",
+                                iteration=iteration,
+                                kind=event.kind.name,
+                                shard_id=event.shard_id,
+                                num_shards=instance.num_shards,
+                            )
 
             round_best: Optional[Solution] = None
-            for replica in replicas:
+            transitions = 0
+            for replica_index, replica in enumerate(replicas):
                 fired = replica.race_round()
                 if fired is not None and fired.solution is not None:
+                    transitions += 1
+                    if traced:
+                        swap_out, swap_in = fired.last_swap or (-1, -1)
+                        telemetry.event(
+                            "se.transition",
+                            iteration=iteration,
+                            replica=replica_index,
+                            cardinality=fired.cardinality,
+                            swap_out=swap_out,
+                            swap_in=swap_in,
+                            utility=fired.solution.utility,
+                        )
                     if round_best is None or fired.solution.utility > round_best.utility:
                         round_best = fired.solution
             best = self._pick_better(best, round_best)
 
+            current = self._current_utility(replicas)
+            virtual_time = max(replica.virtual_time for replica in replicas)
             utility_trace.append(best.utility)
-            current_trace.append(self._current_utility(replicas))
-            time_trace.append(max(replica.virtual_time for replica in replicas))
+            current_trace.append(current)
+            time_trace.append(virtual_time)
+            if traced:
+                # Each fired timer triggers one RESET broadcast: every
+                # sibling solution re-draws its pair and timer (Alg. 1).
+                telemetry.count("se.reset_broadcasts", transitions, iteration=iteration)
+                telemetry.event(
+                    "se.round",
+                    iteration=iteration,
+                    best_utility=best.utility,
+                    current_utility=current,
+                    virtual_time=virtual_time,
+                    transitions=transitions,
+                )
             if detector.update(best.utility) and (schedule is None or schedule.exhausted):
                 converged = True
                 break
 
+        if traced:
+            telemetry.event(
+                "se.done",
+                iterations=iterations,
+                converged=converged,
+                best_utility=best.utility,
+                best_count=best.count,
+                best_weight=best.weight,
+                events_applied=len(events_applied),
+            )
         return SEResult(
             best_mask=best.mask.copy(),
             best_utility=best.utility,
@@ -527,6 +603,7 @@ class StochasticExploration:
                 instance = self._apply_join(instance, replicas, event)
         # Re-spread cardinalities over the (possibly resized) feasible range.
         cardinalities = self.thread_cardinalities(instance)
+        spawned = reinitialised = 0
         for replica_id, replica in enumerate(replicas):
             init_rng = streams.get(f"replica-{replica_id}-init")
             existing = {thread.cardinality: thread for thread in replica.threads}
@@ -537,11 +614,21 @@ class StochasticExploration:
                     rng = _ThreadRng(streams.seed, f"replica-{replica_id}-dyn-n{cardinality}")
                     thread = _SolutionThread(cardinality=cardinality, thread_rng=rng, config=self.config)
                     thread.initialize(instance, init_rng)
+                    spawned += 1
                 elif thread.solution is None or not thread.active:
                     thread.initialize(instance, init_rng)
+                    reinitialised += 1
                 thread.timer = None
                 reseated.append(thread)
             replica.threads = reseated
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "se.reseat",
+                events=len(events),
+                threads_spawned=spawned,
+                threads_reinitialised=reinitialised,
+                num_shards=instance.num_shards,
+            )
         return instance
 
     @staticmethod

@@ -5,7 +5,9 @@ Usage::
     mvcom list                  # available experiments
     mvcom fig08                 # run one figure, print its table, write CSV
     mvcom all                   # run every figure (slow)
-    mvcom lint [paths...]       # static analysis (rules MV001-MV006)
+    mvcom lint [paths...]       # static analysis (rules MV001-MV007)
+    mvcom solve --trace t.jsonl # one traced SE solve + final PBFT round
+    mvcom trace summary t.jsonl # render a text report from a trace file
 """
 
 from __future__ import annotations
@@ -64,19 +66,78 @@ def print_result(name: str, result: dict) -> None:
     print()
 
 
+def run_traced_solve(args) -> int:
+    """``mvcom solve``: one telemetry-instrumented SE solve + final PBFT round."""
+    from repro.harness.textplot import sparkline
+    from repro.harness.tracing import traced_solve
+    from repro.obs.summary import summarize_records
+
+    run = traced_solve(
+        num_committees=args.committees,
+        capacity=args.capacity,
+        gamma=args.gamma,
+        seed=args.seed,
+        max_iterations=args.iterations,
+        trace_path=args.trace,
+        profile=args.profile,
+        top_n=args.top,
+    )
+    result = run.result
+    print(f"solve: {args.committees} committees, Gamma={args.gamma}, seed={args.seed}")
+    print(
+        f"  utility={result.best_utility:.2f}  iterations={result.iterations}"
+        f"  converged={result.converged}"
+    )
+    print(f"  utility trace: {sparkline(result.utility_trace)}")
+    if run.pbft.committed:
+        print(f"  final PBFT committed in {run.pbft.latency:.3f}s (sim time)")
+    else:
+        print("  final PBFT round stalled")
+    print()
+    print(summarize_records(run.records, top_spans=args.top))
+    if args.trace:
+        print(f"\n[trace written to {args.trace}]")
+    return 0
+
+
+def run_trace_summary(path: str) -> int:
+    """``mvcom trace summary PATH``: render a text report from a JSONL trace."""
+    from repro.obs.summary import summarize_file
+
+    print(summarize_file(path))
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(prog="mvcom", description="MVCom reproduction experiments")
     parser.add_argument(
         "experiment",
-        choices=sorted(RUNNERS) + ["all", "list", "lint"],
-        help="figure to run, or 'lint' for static analysis",
+        choices=sorted(RUNNERS) + ["all", "list", "lint", "solve", "trace"],
+        help="figure to run, 'lint' for static analysis, 'solve' for a traced "
+        "SE run, or 'trace summary PATH' to inspect a trace file",
     )
     parser.add_argument(
         "paths",
         nargs="*",
-        help="paths to lint (lint subcommand only; default: src)",
+        help="paths to lint (lint) or 'summary PATH' (trace)",
     )
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="solve: write the telemetry stream to this JSONL file")
+    parser.add_argument("--profile", action="store_true",
+                        help="solve: run the solver under cProfile, emit hotspots")
+    parser.add_argument("--committees", type=int, default=100,
+                        help="solve: number of arrived committees (default 100)")
+    parser.add_argument("--capacity", type=int, default=None,
+                        help="solve: final-block capacity (default 1000 per committee)")
+    parser.add_argument("--gamma", type=int, default=10,
+                        help="solve: SE executor replicas (default 10)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="solve: workload + solver seed (default 0)")
+    parser.add_argument("--iterations", type=int, default=2000,
+                        help="solve: SE iteration budget (default 2000)")
+    parser.add_argument("--top", type=int, default=10,
+                        help="solve/trace: rows per summary table (default 10)")
     args = parser.parse_args(argv)
 
     if args.experiment == "lint":
@@ -84,8 +145,21 @@ def main(argv=None) -> int:
 
         return lint_main(args.paths or ["src"])
 
+    if args.experiment == "solve":
+        if args.paths:
+            parser.error(f"unexpected positional arguments for 'solve': {args.paths}")
+        return run_traced_solve(args)
+
+    if args.experiment == "trace":
+        if len(args.paths) != 2 or args.paths[0] != "summary":
+            parser.error("usage: mvcom trace summary PATH")
+        return run_trace_summary(args.paths[1])
+
     if args.paths:
         parser.error(f"unexpected positional arguments for {args.experiment!r}: {args.paths}")
+
+    if args.trace or args.profile:
+        parser.error("--trace/--profile only apply to the 'solve' subcommand")
 
     if args.experiment == "list":
         for name in list_presets():

@@ -1,0 +1,34 @@
+"""``repro.obs`` -- runtime observability for the MVCom reproduction.
+
+* :mod:`repro.obs.telemetry` -- the hub: counters, gauges, histograms and
+  nested spans over injectable deterministic/wall clocks, with a no-op
+  :data:`~repro.obs.telemetry.NULL_TELEMETRY` default;
+* :mod:`repro.obs.sinks` -- JSONL stream + in-memory ring buffer;
+* :mod:`repro.obs.profiling` -- cProfile hook emitting top-N hotspots into
+  the same stream;
+* :mod:`repro.obs.summary` -- the ``mvcom trace summary`` text report
+  (imported lazily by the CLI; not re-exported here to keep this package
+  import-light for the instrumented hot paths).
+
+Instrumented packages (``repro/{core,sim,chain,baselines}``) accept a
+``telemetry`` parameter defaulting to ``NULL_TELEMETRY`` and never
+construct hubs or sinks themselves -- lint rule MV007 enforces this, the
+injectable-clock design keeps MV002 (no wall-clock) intact.
+"""
+
+from repro.obs.profiling import hotspot_rows, profile_call
+from repro.obs.sinks import JsonlSink, RingBufferSink, TraceDecodeError, read_jsonl
+from repro.obs.telemetry import NULL_TELEMETRY, Clock, NullTelemetry, Telemetry
+
+__all__ = [
+    "Clock",
+    "JsonlSink",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "RingBufferSink",
+    "Telemetry",
+    "TraceDecodeError",
+    "hotspot_rows",
+    "profile_call",
+    "read_jsonl",
+]

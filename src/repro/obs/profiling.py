@@ -1,0 +1,67 @@
+"""Profiling hook: wrap any solver call in cProfile, emit the hotspots.
+
+The ROADMAP's "makes a hot path measurably faster" loop needs the *where*
+as well as the *how long*; this module turns one call into a
+``profile.hotspots`` event inside the same JSONL stream as the rest of the
+telemetry, so a single trace file carries both the event timeline and the
+top-N functions by cumulative time.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from typing import Callable, List, Optional, Tuple
+
+from repro.obs.telemetry import NULL_TELEMETRY, NullTelemetry
+
+
+def hotspot_rows(profiler: cProfile.Profile, top_n: int = 10) -> List[dict]:
+    """Top ``top_n`` profile entries by cumulative time, as flat dicts."""
+    if top_n <= 0:
+        raise ValueError("top_n must be positive")
+    stats = pstats.Stats(profiler)
+    entries = []
+    for (filename, line, function), (
+        _primitive_calls,
+        total_calls,
+        internal_time,
+        cumulative_time,
+        _callers,
+    ) in stats.stats.items():  # type: ignore[attr-defined]
+        entries.append(
+            {
+                "function": f"{filename}:{line}:{function}",
+                "calls": int(total_calls),
+                "tottime_s": round(float(internal_time), 6),
+                "cumtime_s": round(float(cumulative_time), 6),
+            }
+        )
+    entries.sort(key=lambda row: (-row["cumtime_s"], row["function"]))
+    return entries[:top_n]
+
+
+def profile_call(
+    fn: Callable,
+    *args,
+    telemetry: NullTelemetry = NULL_TELEMETRY,
+    name: Optional[str] = None,
+    top_n: int = 10,
+    **kwargs,
+) -> Tuple[object, List[dict]]:
+    """Run ``fn(*args, **kwargs)`` under cProfile.
+
+    Returns ``(result, hotspots)`` and emits one ``profile.hotspots`` event
+    (target, top-N rows) into ``telemetry``.  The profiled call's return
+    value is passed through untouched, so wrapping a solver never changes
+    what the caller sees -- only how much it knows afterwards.
+    """
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn, *args, **kwargs)
+    rows = hotspot_rows(profiler, top_n=top_n)
+    telemetry.event(
+        "profile.hotspots",
+        target=name or getattr(fn, "__qualname__", repr(fn)),
+        hotspots=rows,
+    )
+    return result, rows

@@ -1,0 +1,98 @@
+"""Text reports over telemetry traces (``mvcom trace summary``).
+
+Consumes the JSONL record stream (or a ring buffer's record list) and
+renders the three views a scheduling run is diagnosed with: where the time
+went (top spans by cumulative duration), what happened (event counts by
+name), and how the search moved (the SE utility trace as a sparkline plus
+its summary statistics).  Profiling hotspot events, when present, get their
+own table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.harness.report import render_table
+from repro.harness.textplot import sparkline
+from repro.metrics.traces import trace_statistics
+from repro.obs.sinks import read_jsonl
+
+
+def _span_rows(records: Sequence[dict]) -> List[dict]:
+    totals: Dict[str, dict] = {}
+    for record in records:
+        if record.get("type") != "span":
+            continue
+        name = record.get("name", "?")
+        entry = totals.setdefault(
+            name, {"span": name, "count": 0, "total_dt": 0.0, "total_wall_s": 0.0}
+        )
+        entry["count"] += 1
+        entry["total_dt"] += float(record.get("dt", 0.0))
+        entry["total_wall_s"] += float(record.get("wall_dt", 0.0))
+    rows = sorted(totals.values(), key=lambda row: (-row["total_dt"], row["span"]))
+    for row in rows:
+        row["total_dt"] = round(row["total_dt"], 6)
+        row["mean_dt"] = round(row["total_dt"] / row["count"], 6)
+        row["total_wall_s"] = round(row["total_wall_s"], 6)
+    return rows
+
+
+def _event_count_rows(records: Sequence[dict]) -> List[dict]:
+    counts: Dict[tuple, int] = {}
+    for record in records:
+        key = (record.get("type", "?"), record.get("name", "?"))
+        counts[key] = counts.get(key, 0) + 1
+    return [
+        {"type": kind, "name": name, "records": count}
+        for (kind, name), count in sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    ]
+
+
+def utility_trace(records: Sequence[dict]) -> List[float]:
+    """Best-utility series carried by the ``se.round`` trace points."""
+    return [
+        float(record["best_utility"])
+        for record in records
+        if record.get("name") == "se.round" and "best_utility" in record
+    ]
+
+
+def summarize_records(records: Sequence[dict], top_spans: int = 10) -> str:
+    """Render the full text report for an in-memory record list."""
+    if not records:
+        return "empty trace: no telemetry records"
+    sections: List[str] = [f"telemetry trace: {len(records)} records"]
+
+    span_rows = _span_rows(records)
+    if span_rows:
+        sections.append(
+            render_table(span_rows[:top_spans], title="Top spans by cumulative time")
+        )
+
+    sections.append(render_table(_event_count_rows(records), title="Record counts by name"))
+
+    trace = utility_trace(records)
+    if trace:
+        stats = trace_statistics(trace)
+        stats_rows = [{"statistic": key, "value": value} for key, value in stats.items()]
+        sections.append(
+            "SE utility trace: " + sparkline(trace) + "\n" + render_table(stats_rows)
+        )
+
+    hotspot_sections = [
+        record for record in records if record.get("name") == "profile.hotspots"
+    ]
+    for record in hotspot_sections:
+        rows = record.get("hotspots") or []
+        if rows:
+            sections.append(
+                render_table(rows, title=f"Profile hotspots: {record.get('target', '?')}")
+            )
+
+    return "\n\n".join(sections)
+
+
+def summarize_file(path, top_spans: int = 10) -> str:
+    """Load a JSONL trace from disk and render its text report."""
+    return summarize_records(read_jsonl(path), top_spans=top_spans)

@@ -18,6 +18,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from repro.obs.telemetry import NULL_TELEMETRY, NullTelemetry
+
 
 class SimulationError(RuntimeError):
     """Raised when the engine is used inconsistently (e.g. scheduling in the past)."""
@@ -69,12 +71,19 @@ class SimulationEngine:
     [('a', 1.0), ('b', 2.0)]
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        telemetry: NullTelemetry = NULL_TELEMETRY,
+    ) -> None:
         self._now = float(start_time)
         self._queue: list = []
         self._sequence = itertools.count()
         self._cancelled: set = set()
         self._processed = 0
+        #: Injected observability hub (rule MV007); per-run loop stats are
+        #: emitted as ``sim.run`` events, ``step`` stays un-instrumented.
+        self.telemetry = telemetry
 
     @property
     def now(self) -> float:
@@ -129,6 +138,7 @@ class SimulationEngine:
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run events until the queue drains, ``until`` is reached, or ``max_events`` fire."""
+        t_start = self._now
         fired = 0
         while self._queue:
             when = self._peek_time()
@@ -136,11 +146,20 @@ class SimulationEngine:
                 break
             if until is not None and when > until:
                 self._now = until
-                return
+                break
             if max_events is not None and fired >= max_events:
-                return
+                break
             self.step()
             fired += 1
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "sim.run",
+                events=fired,
+                t_start=t_start,
+                t_end=self._now,
+                pending=self.pending,
+                processed_total=self._processed,
+            )
 
     def _peek_time(self) -> Optional[float]:
         while self._queue:

@@ -1,4 +1,4 @@
-"""Tests for the repro.analysis lint engine (rules MV001-MV006)."""
+"""Tests for the repro.analysis lint engine (rules MV001-MV007)."""
 
 import textwrap
 
@@ -23,8 +23,10 @@ def rule_hits(diagnostics, rule_id):
 # ---------------------------------------------------------------------- #
 # registry
 # ---------------------------------------------------------------------- #
-def test_registry_ships_the_six_rules():
-    assert set(registered_rules()) >= {"MV001", "MV002", "MV003", "MV004", "MV005", "MV006"}
+def test_registry_ships_the_core_rules():
+    assert set(registered_rules()) >= {
+        "MV001", "MV002", "MV003", "MV004", "MV005", "MV006", "MV007",
+    }
 
 
 # ---------------------------------------------------------------------- #
@@ -307,6 +309,63 @@ class TestMV006:
             return solution
         """
         assert rule_hits(lint(elsewhere, path="src/repro/baselines/x.py"), "MV006") == []
+
+
+# ---------------------------------------------------------------------- #
+# MV007 injected telemetry only
+# ---------------------------------------------------------------------- #
+class TestMV007:
+    def test_hub_construction_in_replay_code_flagged(self):
+        bad = """
+        from repro.obs.telemetry import Telemetry
+
+        def solve():
+            return Telemetry()
+        """
+        assert rule_hits(lint(bad, path="src/repro/core/se.py"), "MV007") == [(5, "MV007")]
+
+    def test_sink_construction_flagged_even_aliased(self):
+        bad = """
+        from repro.obs.sinks import JsonlSink as Sink, RingBufferSink
+
+        def solve():
+            a = Sink("trace.jsonl")
+            b = RingBufferSink(16)
+        """
+        assert rule_hits(lint(bad, path="src/repro/sim/engine.py"), "MV007") == [
+            (5, "MV007"),
+            (6, "MV007"),
+        ]
+
+    def test_module_attribute_construction_flagged(self):
+        bad = """
+        import repro.obs.telemetry
+
+        def solve():
+            return repro.obs.telemetry.Telemetry()
+        """
+        assert rule_hits(lint(bad, path="src/repro/chain/pbft.py"), "MV007") == [(5, "MV007")]
+
+    def test_null_telemetry_default_is_clean(self):
+        good = """
+        from repro.obs.telemetry import NULL_TELEMETRY, NullTelemetry
+
+        def solve(telemetry: NullTelemetry = NULL_TELEMETRY):
+            if telemetry.enabled:
+                telemetry.event("x")
+            return NullTelemetry()
+        """
+        assert rule_hits(lint(good, path="src/repro/core/se.py"), "MV007") == []
+
+    def test_harness_may_build_hubs(self):
+        harness = """
+        from repro.obs.sinks import JsonlSink
+        from repro.obs.telemetry import Telemetry
+
+        def build():
+            return Telemetry(sinks=[JsonlSink("t.jsonl")])
+        """
+        assert rule_hits(lint(harness, path="src/repro/harness/tracing.py"), "MV007") == []
 
 
 # ---------------------------------------------------------------------- #

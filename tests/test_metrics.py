@@ -99,6 +99,20 @@ class TestTraces:
         with pytest.raises(ValueError):
             align_traces({"a": []})
 
+    def test_align_explicit_length_shorter_than_longest(self):
+        # An explicit length below the longest trace truncates the long
+        # series and still pads the short ones to the same axis.
+        aligned = align_traces({"long": [1.0, 2.0, 3.0, 4.0], "short": [7.0]}, length=2)
+        assert aligned["long"].tolist() == [1.0, 2.0]
+        assert aligned["short"].tolist() == [7.0, 7.0]
+        assert {a.size for a in aligned.values()} == {2}
+
+    def test_align_returns_copies_not_views(self):
+        source = np.array([1.0, 2.0, 3.0])
+        aligned = align_traces({"a": source}, length=2)
+        aligned["a"][0] = 99.0
+        assert source[0] == 1.0
+
     def test_converged_value_tail_mean(self):
         trace = [0.0] * 90 + [10.0] * 10
         assert converged_value(trace, tail_fraction=0.1) == pytest.approx(10.0)
@@ -113,6 +127,22 @@ class TestTraces:
         trace = [0.0, 1.0, 2.0, 5.0, 5.0]
         assert iterations_to_reach(trace, 2.0) == 2
         assert iterations_to_reach(trace, 9.0) == -1
+
+    def test_single_point_trace(self):
+        # One-shot algorithms (DP, Greedy) produce length-1 traces; every
+        # statistic must degrade gracefully instead of slicing to empty.
+        assert converged_value([5.0]) == 5.0
+        assert iterations_to_reach([5.0], 5.0) == 0
+        assert iterations_to_reach([5.0], 6.0) == -1
+        stats = trace_statistics([5.0])
+        assert stats == {
+            "first": 5.0,
+            "last": 5.0,
+            "max": 5.0,
+            "converged": 5.0,
+            "iterations": 1,
+            "iters_to_99pct": 0,
+        }
 
     def test_trace_statistics(self):
         stats = trace_statistics([1.0, 2.0, 4.0, 4.0])

@@ -1,0 +1,123 @@
+"""Traced harness runs, the trace text report, and the CLI surfacing."""
+
+import pytest
+
+from repro.harness.cli import main
+from repro.harness.tracing import build_telemetry, traced_solve
+from repro.obs.sinks import JsonlSink, RingBufferSink, read_jsonl
+from repro.obs.summary import summarize_file, summarize_records, utility_trace
+
+
+@pytest.fixture(scope="module")
+def small_run(tmp_path_factory):
+    """One traced solve shared by every test in this module."""
+    path = tmp_path_factory.mktemp("trace") / "run.jsonl"
+    run = traced_solve(
+        num_committees=15,
+        gamma=2,
+        seed=0,
+        max_iterations=120,
+        convergence_window=60,
+        trace_path=str(path),
+        profile=True,
+        top_n=4,
+    )
+    return run, path
+
+
+def test_build_telemetry_wires_ring_and_jsonl(tmp_path):
+    hub = build_telemetry(str(tmp_path / "t.jsonl"))
+    kinds = [type(sink) for sink in hub.sinks]
+    assert kinds == [RingBufferSink, JsonlSink]
+    hub.event("x")
+    hub.close()
+    assert len(read_jsonl(tmp_path / "t.jsonl")) == 1
+    assert len(build_telemetry().sinks) == 1  # no path -> ring only
+
+
+def test_traced_solve_stream_carries_all_layers(small_run):
+    run, path = small_run
+    records = read_jsonl(path)
+    assert len(records) == len(run.records)
+    names = {r["name"] for r in records}
+    # SE events, sim-engine stats, chain-phase span, profiling -- one stream.
+    assert {"se.transition", "se.reset_broadcasts", "se.round"} <= names
+    assert "sim.run" in names
+    assert "profile.hotspots" in names
+    spans = {r["name"] for r in records if r["type"] == "span"}
+    assert "chain.pbft.round" in spans
+    assert {"harness.se_solve", "harness.chain_phase"} <= spans
+    assert records[-1]["name"] == "harness.done"
+    assert all("wall" in r for r in records)  # harness hubs carry wall time
+    assert run.hotspots and len(run.hotspots) <= 4
+
+
+def test_traced_solve_without_trace_path_keeps_records_in_memory():
+    run = traced_solve(num_committees=10, gamma=1, max_iterations=40, convergence_window=20)
+    assert run.trace_path is None
+    assert any(r["name"] == "se.round" for r in run.records)
+
+
+def test_utility_trace_follows_se_rounds(small_run):
+    run, path = small_run
+    trace = utility_trace(read_jsonl(path))
+    assert len(trace) == run.result.iterations
+    assert trace[-1] == pytest.approx(run.result.best_utility)
+    assert trace == sorted(trace)  # best-so-far is monotone
+
+
+def test_summarize_records_renders_all_sections(small_run):
+    run, path = small_run
+    report = summarize_file(path)
+    assert f"telemetry trace: {len(run.records)} records" in report
+    assert "Top spans by cumulative time" in report
+    assert "Record counts by name" in report
+    assert "SE utility trace" in report
+    assert "iters_to_99pct" in report
+    assert "Profile hotspots: StochasticExploration.solve" in report
+
+
+def test_summarize_records_handles_empty_and_spanless():
+    assert "empty trace" in summarize_records([])
+    report = summarize_records([{"type": "event", "name": "lonely"}])
+    assert "lonely" in report
+    assert "Top spans" not in report
+
+
+def test_cli_solve_writes_trace_and_reports(tmp_path, capsys):
+    path = tmp_path / "cli.jsonl"
+    code = main(
+        [
+            "solve",
+            "--committees", "10",
+            "--gamma", "1",
+            "--iterations", "40",
+            "--trace", str(path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "utility=" in out
+    assert "Record counts by name" in out
+    assert any(r["type"] == "span" for r in read_jsonl(path))
+
+
+def test_cli_trace_summary_renders_report(tmp_path, capsys):
+    path = tmp_path / "cli.jsonl"
+    main(["solve", "--committees", "10", "--gamma", "1", "--iterations", "40",
+          "--trace", str(path)])
+    capsys.readouterr()
+    assert main(["trace", "summary", str(path)]) == 0
+    assert "Top spans by cumulative time" in capsys.readouterr().out
+
+
+def test_cli_trace_requires_summary_and_path():
+    with pytest.raises(SystemExit):
+        main(["trace"])
+    with pytest.raises(SystemExit):
+        main(["trace", "explode", "x.jsonl"])
+
+
+def test_cli_trace_flag_rejected_outside_solve():
+    with pytest.raises(SystemExit):
+        main(["fig08", "--trace", "x.jsonl"])

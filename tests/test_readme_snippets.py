@@ -1,5 +1,8 @@
 """Keep the README honest: its quickstart snippet must actually run."""
 
+import importlib.util
+from pathlib import Path
+
 def test_readme_quickstart_snippet():
     from repro import (WorkloadConfig, generate_epoch_workload,
                        SEConfig, StochasticExploration, summarize_schedule)
@@ -23,3 +26,33 @@ def test_package_docstring_example():
     result = StochasticExploration(SEConfig(num_threads=5, max_iterations=500)).solve(
         workload.instance)
     assert result.best_weight <= workload.instance.capacity
+
+
+def test_observability_snippet():
+    """The README's Observability section, end to end in memory."""
+    from repro.core.se import SEConfig, StochasticExploration
+    from repro.data.workload import WorkloadConfig, generate_epoch_workload
+    from repro.obs import RingBufferSink, Telemetry
+
+    ring = RingBufferSink()
+    telemetry = Telemetry(sinks=[ring])
+    workload = generate_epoch_workload(WorkloadConfig(num_committees=30, capacity=30_000))
+    StochasticExploration(
+        SEConfig(num_threads=3, max_iterations=200, convergence_window=100),
+        telemetry=telemetry,
+    ).solve(workload.instance)
+    assert any(r["name"] == "se.transition" for r in ring.records)
+    assert telemetry.snapshot()["counters"]["se.reset_broadcasts"] >= 0
+
+
+def test_traced_run_example(capsys):
+    """examples/traced_run.py must execute and render the trace report."""
+    path = Path(__file__).resolve().parent.parent / "examples" / "traced_run.py"
+    spec = importlib.util.spec_from_file_location("traced_run_example", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    out = capsys.readouterr().out
+    assert "SE solve: utility=" in out
+    assert "Top spans by cumulative time" in out
+    assert "Profile hotspots" in out
