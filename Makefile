@@ -1,6 +1,6 @@
 # Canonical workflows for the MVCom reproduction.
 
-.PHONY: install test lint bench figures examples clean
+.PHONY: install test lint bench figures examples storm clean
 
 install:
 	pip install -e . || python setup.py develop   # offline envs lack wheel
@@ -21,6 +21,13 @@ figures:
 
 examples:
 	for script in examples/*.py; do echo "== $$script"; python $$script; done
+
+# Churn-storm fault injection with event-boundary invariants armed
+# (repro.faultinject); non-zero exit + shrunk reproducer on a violation.
+storm:
+	REPRO_CONTRACTS=1 PYTHONPATH=src python -m repro.harness.cli storm \
+		--seed 0 --events 200 --committees 40 --gamma 4 --iterations 1200 \
+		--shrink --out storm_reproducer.json
 
 clean:
 	rm -rf results/*.csv results/*.json .pytest_cache

@@ -59,8 +59,19 @@ def perf_recorder():
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Write accumulated perf records once, after the whole bench session."""
-    if _PERF_RECORDS:
-        BENCH_RECORD_PATH.write_text(
-            json.dumps(_PERF_RECORDS, indent=2, sort_keys=True) + "\n"
-        )
+    """Merge this session's perf records into the repo-root perf log.
+
+    Merging (rather than overwriting) keeps records from benches that were
+    not part of this run, so a partial ``pytest benchmarks/bench_x.py``
+    invocation cannot clobber the other benches' entries.
+    """
+    if not _PERF_RECORDS:
+        return
+    records = {}
+    if BENCH_RECORD_PATH.exists():
+        try:
+            records = json.loads(BENCH_RECORD_PATH.read_text())
+        except (json.JSONDecodeError, OSError):
+            records = {}
+    records.update(_PERF_RECORDS)
+    BENCH_RECORD_PATH.write_text(json.dumps(records, indent=2, sort_keys=True) + "\n")

@@ -5,8 +5,9 @@ Each rule encodes one discipline the MVCom reproduction depends on:
 * **MV001** all randomness flows through ``repro.sim.rng`` (named streams),
   never through ``np.random.default_rng`` / ``random.*`` / ``np.random.seed``
   directly — stream isolation is what keeps Figs. 8-14 ablations comparable.
-* **MV002** no wall-clock reads inside ``repro/{core,sim,chain,baselines}``;
-  simulated time must come from the virtual clock or replay breaks.
+* **MV002** no wall-clock reads inside
+  ``repro/{core,sim,chain,baselines,faultinject}``; simulated time must
+  come from the virtual clock or replay breaks.
 * **MV003** a parameter named ``rng`` must be annotated
   ``np.random.Generator`` and its function must not also reach for a global
   RNG — mixing stream and global draws silently couples subsystems.
@@ -33,7 +34,13 @@ from repro.analysis.diagnostics import Diagnostic
 from repro.analysis.engine import FileContext, Rule, register_rule
 
 #: Packages whose code must be replayable under a fixed seed.
-REPLAY_PACKAGES = ("repro/core/", "repro/sim/", "repro/chain/", "repro/baselines/")
+REPLAY_PACKAGES = (
+    "repro/core/",
+    "repro/sim/",
+    "repro/chain/",
+    "repro/baselines/",
+    "repro/faultinject/",
+)
 
 #: The one module allowed to construct raw generators.
 RNG_MODULE = "repro/sim/rng.py"

@@ -16,8 +16,19 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.problem import EpochInstance
+from repro.core.repair import repair_cardinality
 from repro.core.solution import Solution
 from repro.sim.rng import spawn_rng
+
+__all__ = [
+    "ScheduleResult",
+    "Scheduler",
+    "greedy_feasible_start",
+    "random_feasible_start",
+    # Re-export: repair_cardinality moved to repro.core.repair (PR 3) so the
+    # SE core can use it without importing baselines; import it from there.
+    "repair_cardinality",
+]
 
 
 @dataclass
@@ -69,38 +80,6 @@ class Scheduler(abc.ABC):
     def _rng(self, instance: EpochInstance) -> np.random.Generator:
         """A per-(scheduler, instance-size) RNG stream; deterministic per seed."""
         return spawn_rng(self.seed, f"{self.name}:{instance.num_shards}")
-
-
-def repair_cardinality(instance: EpochInstance, solution: Solution) -> None:
-    """Enforce const. (3) ``count >= N_min`` in place, keeping const. (4).
-
-    Pads with the highest-value unselected shard that still fits the
-    capacity Ĉ; when no shard fits, swaps the heaviest selected shard for
-    the lightest outsider (strictly reducing weight) and retries.
-    Terminates because weight is a strictly decreasing integer across
-    consecutive swaps, and always succeeds when ``n_min <=
-    max_feasible_cardinality`` — which :class:`EpochInstance` guarantees by
-    construction.
-    """
-    tx_counts = instance.tx_counts
-    values = instance.values
-    while solution.count < instance.n_min:
-        unselected = solution.unselected_positions()
-        if len(unselected) == 0:
-            break
-        slack = instance.capacity - solution.weight
-        fitting = unselected[tx_counts[unselected] <= slack]
-        if len(fitting):
-            solution.flip(int(fitting[np.argmax(values[fitting])]))
-            continue
-        selected = solution.selected_positions()
-        if len(selected) == 0:
-            break  # nothing fits at all: n_cap = 0, so n_min = 0 too
-        heaviest = int(selected[np.argmax(tx_counts[selected])])
-        lightest = int(unselected[np.argmin(tx_counts[unselected])])
-        if int(tx_counts[lightest]) >= int(tx_counts[heaviest]):
-            break  # cannot reduce weight further
-        solution.swap(heaviest, lightest)
 
 
 def greedy_feasible_start(

@@ -1,0 +1,82 @@
+"""Feasibility repair moves shared by SE and the baselines.
+
+The paper's constraints — :math:`\\sum_i x_i \\ge N_{min}` (const. 3) and
+:math:`\\sum_i x_i s_i \\le \\hat C` (const. 4) — can both be broken by
+dynamic events: a LEAVE removes selected shards (cardinality drops), a JOIN
+re-values every shard (the carried incumbent may suddenly exceed Ĉ after a
+rebase).  This module holds the deterministic repair used everywhere a
+solution must be coerced back into the feasible region without discarding
+the exploration state that produced it.
+
+Historically :func:`repair_cardinality` lived in ``repro.baselines.base``;
+it moved here so :mod:`repro.core.se` can repair carried incumbents after
+dynamic events without ``core`` importing ``baselines`` (the import must
+flow the other way).  ``repro.baselines.base`` re-exports it for
+compatibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import EpochInstance
+from repro.core.solution import Solution
+
+
+def repair_cardinality(instance: EpochInstance, solution: Solution) -> None:
+    """Enforce const. (3) ``count >= N_min`` in place, keeping const. (4).
+
+    Pads with the highest-value unselected shard that still fits the
+    capacity Ĉ; when no shard fits, swaps the heaviest selected shard for
+    the lightest outsider (strictly reducing weight) and retries.
+    Terminates because weight is a strictly decreasing integer across
+    consecutive swaps, and always succeeds when ``n_min <=
+    max_feasible_cardinality`` — which :class:`EpochInstance` guarantees by
+    construction.
+    """
+    tx_counts = instance.tx_counts
+    values = instance.values
+    while solution.count < instance.n_min:
+        unselected = solution.unselected_positions()
+        if len(unselected) == 0:
+            break
+        slack = instance.capacity - solution.weight
+        fitting = unselected[tx_counts[unselected] <= slack]
+        if len(fitting):
+            solution.flip(int(fitting[np.argmax(values[fitting])]))
+            continue
+        selected = solution.selected_positions()
+        if len(selected) == 0:
+            break  # nothing fits at all: n_cap = 0, so n_min = 0 too
+        heaviest = int(selected[np.argmax(tx_counts[selected])])
+        lightest = int(unselected[np.argmin(tx_counts[unselected])])
+        if int(tx_counts[lightest]) >= int(tx_counts[heaviest]):
+            break  # cannot reduce weight further
+        solution.swap(heaviest, lightest)
+
+
+def repair_capacity(instance: EpochInstance, solution: Solution) -> None:
+    """Enforce const. (4) ``weight <= Ĉ`` in place by trimming worst picks.
+
+    Drops the lowest-value selected shard until the packed TXs fit the
+    capacity Ĉ.  May leave the cardinality below ``N_min`` (const. 3);
+    callers that need both constraints follow up with
+    :func:`repair_cardinality`, whose pad-or-swap loop never re-breaks the
+    capacity.
+    """
+    while not solution.capacity_feasible and solution.count > 0:
+        selected = solution.selected_positions()
+        worst = selected[np.argmin(instance.values[selected])]
+        solution.flip(int(worst))
+
+
+def repair_feasibility(instance: EpochInstance, solution: Solution) -> None:
+    """Re-establish const. (3) *and* (4) in place after a rebase.
+
+    Order matters: the capacity trim first (it only removes shards), then
+    the cardinality pad (it only adds shards that fit the remaining Ĉ
+    slack, or performs weight-reducing swaps) — so the composition lands in
+    the feasible region whenever the instance admits one at all.
+    """
+    repair_capacity(instance, solution)
+    repair_cardinality(instance, solution)

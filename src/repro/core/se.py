@@ -37,13 +37,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.convergence import ConvergenceDetector
 from repro.core.dynamics import CommitteeEvent, DynamicSchedule, EventKind
 from repro.core.problem import DEFAULT_BETA, DEFAULT_TAU, EpochInstance
+from repro.core.repair import repair_feasibility
 from repro.core.solution import Solution
 from repro.core.timers import clamped_exp
 from repro.analysis.contracts import feasible_result
@@ -212,10 +213,18 @@ class _SolutionThread:
             heavy_first = chosen[np.argsort(-tx_counts[chosen], kind="stable")]
             light_first = outside[np.argsort(tx_counts[outside], kind="stable")]
             swaps = min(len(heavy_first), len(light_first))
-            # weight after k swaps is monotone non-increasing in k
+            # relief[k] = weight shed by the first k+1 swaps.  Its increments
+            # (heaviest-in minus lightest-out) are non-increasing and can go
+            # *negative* once the remaining outsiders outweigh the remaining
+            # picks, so relief itself is NOT sorted — searchsorted on it is
+            # undefined and used to collapse repairable draws to lightest-n.
+            # The running maximum is sorted and crosses the deficit at the
+            # same minimal k, so search that instead.
             relief = np.cumsum(tx_counts[heavy_first[:swaps]] - tx_counts[light_first[:swaps]])
-            needed = np.searchsorted(relief, weight - instance.capacity, side="left") + 1
-            if needed <= swaps and relief[needed - 1] >= weight - instance.capacity:
+            best_relief = np.maximum.accumulate(relief)
+            deficit = weight - instance.capacity
+            needed = int(np.searchsorted(best_relief, deficit, side="left")) + 1
+            if needed <= swaps and best_relief[needed - 1] >= deficit:
                 chosen = np.concatenate([heavy_first[needed:], light_first[:needed]])
             else:
                 chosen = np.argsort(tx_counts, kind="stable")[:n]  # lightest-n fallback
@@ -294,11 +303,18 @@ class _SolutionThread:
 
 
 class _Replica:
-    """One executor hosting the full solution-thread family (Fig. 5)."""
+    """One executor hosting the full solution-thread family (Fig. 5).
 
-    __slots__ = ("threads", "virtual_time")
+    ``replica_id`` is the executor's stable identity: every named stream the
+    replica consumes (init, dynamic re-init, leave re-init) is keyed by it,
+    never by the replica's position in a list — so the Γ replicas stay
+    independent regardless of iteration order (the premise behind Fig. 8).
+    """
 
-    def __init__(self, threads: List[_SolutionThread]) -> None:
+    __slots__ = ("replica_id", "threads", "virtual_time")
+
+    def __init__(self, replica_id: int, threads: List[_SolutionThread]) -> None:
+        self.replica_id = replica_id
         self.threads = threads
         self.virtual_time = 0.0
 
@@ -373,12 +389,21 @@ class StochasticExploration:
         self,
         instance: EpochInstance,
         schedule: Optional[DynamicSchedule] = None,
+        probe: Optional[Callable[..., None]] = None,
     ) -> SEResult:
         """Run SE on one epoch, optionally with a dynamic event schedule.
 
         The returned best solution satisfies const. (3) ``count >= N_min``
         and const. (4) ``weight <= Ĉ`` with a finite utility; set
         ``REPRO_CONTRACTS=1`` to assert this at the boundary.
+
+        ``probe``, when given, is invoked at every dynamic-event boundary —
+        after the events are applied, the replicas re-seated and the
+        incumbent rebased — as ``probe(iteration=..., events=...,
+        instance=..., best=..., replicas=...)``.  It may raise to abort the
+        run; :mod:`repro.faultinject` uses it to arm feasibility /
+        conservation invariants during churn storms.  The probe draws no
+        randomness, so passing one never perturbs the seeded trajectory.
         """
         streams = RandomStreams(self.config.seed)
         replicas = self._spawn_replicas(instance, streams)
@@ -426,6 +451,14 @@ class StochasticExploration:
                     best = self._rebase_best(best, instance)
                     best = self._pick_better(best, self._best_current(replicas))
                     best = self._maybe_full_solution(instance, best)
+                    if probe is not None:
+                        probe(
+                            iteration=iteration,
+                            events=fired_events,
+                            instance=instance,
+                            best=best,
+                            replicas=replicas,
+                        )
                     if traced:
                         for event in fired_events:
                             telemetry.event(
@@ -538,7 +571,7 @@ class StochasticExploration:
                 thread = _SolutionThread(cardinality=cardinality, thread_rng=rng, config=self.config)
                 thread.initialize(instance, init_rng)
                 threads.append(thread)
-            replicas.append(_Replica(threads))
+            replicas.append(_Replica(replica_id, threads))
         return replicas
 
     @staticmethod
@@ -577,14 +610,19 @@ class StochasticExploration:
         return best
 
     def _rebase_best(self, best: Solution, instance: EpochInstance) -> Solution:
+        """Carry the incumbent across a dynamic event, restoring const. (3)-(4).
+
+        Rebasing by shard id can break both constraints: a LEAVE drops
+        selected shards (cardinality can fall below ``N_min``) and a
+        DDL-shifting JOIN re-values everything (the carried weight can
+        exceed Ĉ).  Trimming alone used to leave the incumbent
+        cardinality-infeasible yet still able to win ``_pick_better`` on raw
+        utility; the shared :func:`repro.core.repair.repair_feasibility`
+        re-establishes the capacity trim *and* the ``N_min`` pad.
+        """
         rebased = best.rebase(instance)
-        if not rebased.capacity_feasible:
-            # Shards vanished or values shifted; trim the worst picks until
-            # the carried-over incumbent is feasible again.
-            while not rebased.capacity_feasible and rebased.count > 0:
-                selected = rebased.selected_positions()
-                worst = min(selected, key=lambda i: float(rebased.instance.values[i]))
-                rebased.flip(int(worst))
+        if not rebased.feasible:
+            repair_feasibility(instance, rebased)
         return rebased
 
     def _apply_events(
@@ -595,16 +633,16 @@ class StochasticExploration:
         streams: RandomStreams,
     ) -> EpochInstance:
         """Alg. 1 lines 9-12: update ``I_j`` and re-seat every solution."""
-        leave_rng = streams.get("leave-reinit")
         for event in events:
             if event.kind is EventKind.LEAVE:
-                instance = self._apply_leave(instance, replicas, event, leave_rng)
+                instance = self._apply_leave(instance, replicas, event, streams)
             else:
                 instance = self._apply_join(instance, replicas, event)
         # Re-spread cardinalities over the (possibly resized) feasible range.
         cardinalities = self.thread_cardinalities(instance)
         spawned = reinitialised = 0
-        for replica_id, replica in enumerate(replicas):
+        for replica in replicas:
+            replica_id = replica.replica_id
             init_rng = streams.get(f"replica-{replica_id}-init")
             existing = {thread.cardinality: thread for thread in replica.threads}
             reseated = []
@@ -636,12 +674,22 @@ class StochasticExploration:
         instance: EpochInstance,
         replicas: Sequence[_Replica],
         event: CommitteeEvent,
-        init_rng: np.random.Generator,
+        streams: RandomStreams,
     ) -> EpochInstance:
         if event.shard_id not in instance.shard_ids:
             return instance  # committee already gone; tolerate duplicates
+        if instance.num_shards <= 1:
+            raise InfeasibleEpochError(
+                f"LEAVE of shard {event.shard_id} would empty the epoch; "
+                "no committee remains to schedule"
+            )
         new_instance = instance.without(event.shard_id)
         for replica in replicas:
+            # Per-replica named stream: a shared "leave-reinit" stream would
+            # correlate post-failure exploration across the Γ replicas and
+            # make it depend on replica iteration order, breaking the
+            # replica-independence premise behind Fig. 8.
+            init_rng = streams.get(f"replica-{replica.replica_id}-leave")
             for thread in replica.threads:
                 if thread.solution is None:
                     continue

@@ -1,0 +1,62 @@
+"""Greedy event-deletion shrinking of failing storm schedules (ddmin-lite).
+
+A 200-event storm that trips an armed invariant is a terrible bug report;
+the two events that actually interact are. :func:`shrink_events` reduces a
+failing schedule to a **1-minimal** reproducer: chunked greedy deletion
+(halving chunk sizes, as in Zeller's delta debugging, minus the complement
+splits) followed by single-event sweeps to a fixpoint, so in the returned
+schedule *no single event can be removed* without losing the failure.
+
+The oracle ``still_fails`` must be deterministic — in :mod:`repro.faultinject`
+it replays the candidate schedule through a freshly seeded solver and
+compares the failure *signature* (invariant name), not the exact iteration,
+because deleting events legitimately shifts when the survivor fires.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from repro.core.dynamics import CommitteeEvent
+
+#: Oracle: does this candidate event list still reproduce the failure?
+StormOracle = Callable[[List[CommitteeEvent]], bool]
+
+
+def shrink_events(
+    events: Sequence[CommitteeEvent],
+    still_fails: StormOracle,
+    max_probes: int = 10_000,
+) -> Tuple[List[CommitteeEvent], int]:
+    """Shrink ``events`` to a 1-minimal failing sublist.
+
+    Returns ``(minimal_events, probes)`` where ``probes`` counts oracle
+    invocations.  Deletion preserves relative order (schedules are order-
+    sensitive).  Raises ``ValueError`` if the full list does not fail —
+    shrinking an already-passing schedule means the caller mixed up
+    outcomes.  ``max_probes`` bounds worst-case work; the greedy pass is
+    O(n²) probes only in pathological all-events-essential cases.
+    """
+    current = list(events)
+    if not still_fails(list(current)):
+        raise ValueError("the unshrunk schedule does not reproduce the failure")
+    probes = 1
+    chunk = max(len(current) // 2, 1)
+    while current:
+        removed = False
+        start = 0
+        while start < len(current):
+            if probes >= max_probes:
+                return current, probes
+            candidate = current[:start] + current[start + chunk :]
+            probes += 1
+            if still_fails(list(candidate)):
+                current = candidate  # chunk gone; retry same start position
+                removed = True
+            else:
+                start += chunk
+        if chunk > 1:
+            chunk = max(chunk // 2, 1)
+        elif not removed:
+            break  # clean single-event pass: 1-minimal
+    return current, probes

@@ -8,6 +8,8 @@ Usage::
     mvcom lint [paths...]       # static analysis (rules MV001-MV007)
     mvcom solve --trace t.jsonl # one traced SE solve + final PBFT round
     mvcom trace summary t.jsonl # render a text report from a trace file
+    mvcom storm --seed 13       # churn-storm fault injection (repro.faultinject)
+    mvcom storm --replay r.json # replay a shrunk storm reproducer
 """
 
 from __future__ import annotations
@@ -113,9 +115,10 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="mvcom", description="MVCom reproduction experiments")
     parser.add_argument(
         "experiment",
-        choices=sorted(RUNNERS) + ["all", "list", "lint", "solve", "trace"],
+        choices=sorted(RUNNERS) + ["all", "list", "lint", "solve", "storm", "trace"],
         help="figure to run, 'lint' for static analysis, 'solve' for a traced "
-        "SE run, or 'trace summary PATH' to inspect a trace file",
+        "SE run, 'storm' for churn-storm fault injection, or 'trace summary "
+        "PATH' to inspect a trace file",
     )
     parser.add_argument(
         "paths",
@@ -138,6 +141,18 @@ def main(argv=None) -> int:
                         help="solve: SE iteration budget (default 2000)")
     parser.add_argument("--top", type=int, default=10,
                         help="solve/trace: rows per summary table (default 10)")
+    parser.add_argument("--events", type=int, default=200,
+                        help="storm: number of churn events to generate (default 200)")
+    parser.add_argument("--epochs", type=int, default=1,
+                        help="storm: drive the multi-epoch chain loop with this many epochs")
+    parser.add_argument("--shrink", action="store_true",
+                        help="storm: on violation, shrink to a minimal reproducer")
+    parser.add_argument("--strict", action="store_true",
+                        help="storm: additionally arm the strict-n-min drill invariant")
+    parser.add_argument("--replay", metavar="PATH", default=None,
+                        help="storm: replay a reproducer JSON instead of generating")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="storm: where to write the shrunk reproducer JSON")
     args = parser.parse_args(argv)
 
     if args.experiment == "lint":
@@ -154,6 +169,13 @@ def main(argv=None) -> int:
         if len(args.paths) != 2 or args.paths[0] != "summary":
             parser.error("usage: mvcom trace summary PATH")
         return run_trace_summary(args.paths[1])
+
+    if args.experiment == "storm":
+        if args.paths:
+            parser.error(f"unexpected positional arguments for 'storm': {args.paths}")
+        from repro.harness.storms import run_storm_cli
+
+        return run_storm_cli(args)
 
     if args.paths:
         parser.error(f"unexpected positional arguments for {args.experiment!r}: {args.paths}")

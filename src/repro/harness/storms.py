@@ -1,0 +1,160 @@
+"""``mvcom storm``: churn-storm fault injection from the command line.
+
+Harness glue around :mod:`repro.faultinject`: builds the
+:class:`~repro.faultinject.StormConfig` from CLI flags, owns the telemetry
+hub (rule MV007 — the faultinject package only *receives* one), renders a
+human summary, and on a violation optionally shrinks the schedule and
+writes the minimal reproducer JSON so CI can attach it as an artifact.
+
+Exit codes: 0 for ``survived`` (and for graceful ``infeasible``
+degradation), 1 for a ``violated`` invariant — so ``mvcom storm`` slots
+directly into a CI job.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faultinject import (
+    DEFAULT_ARMED,
+    StormConfig,
+    StormOutcome,
+    load_reproducer,
+    make_reproducer,
+    replay_reproducer,
+    run_epoch_storm,
+    run_storm,
+    save_reproducer,
+    shrink_storm,
+)
+from repro.harness.tracing import build_telemetry
+from repro.obs.telemetry import NULL_TELEMETRY
+
+#: Default path for the shrunk reproducer artifact.
+DEFAULT_REPRODUCER_PATH = "storm_reproducer.json"
+
+
+def config_from_args(args) -> StormConfig:
+    """Map the CLI namespace onto a :class:`StormConfig`."""
+    return StormConfig(
+        seed=args.seed,
+        num_events=args.events,
+        num_committees=args.committees,
+        capacity=args.capacity,
+        gamma=args.gamma,
+        max_iterations=args.iterations,
+        convergence_window=max(args.iterations // 4, 50),
+        epochs=args.epochs,
+    )
+
+
+def _armed_from_args(args):
+    armed = DEFAULT_ARMED
+    if getattr(args, "strict", False):
+        armed = armed + ("strict-n-min",)
+    return armed
+
+
+def _print_outcome(outcome: StormOutcome) -> None:
+    config = outcome.config
+    print(
+        f"storm: seed={config.seed} events={len(outcome.events)} "
+        f"committees={config.num_committees} gamma={config.gamma}"
+    )
+    print(
+        f"  status={outcome.status}  boundaries={len(outcome.boundaries)}"
+        f"  invariant-checks={outcome.checks_run}"
+        f"  theorem2-checks={outcome.theorem2_checked}"
+    )
+    if outcome.result is not None:
+        result = outcome.result
+        print(
+            f"  iterations={result.iterations}  converged={result.converged}"
+            f"  best_utility={result.best_utility:.2f}"
+            f"  best_count={result.best_count}  best_weight={result.best_weight}"
+        )
+    if outcome.violation is not None:
+        print(f"  VIOLATION: {outcome.violation}")
+    if outcome.infeasible_reason is not None:
+        print(f"  infeasible (graceful): {outcome.infeasible_reason}")
+
+
+def _handle_violation(outcome: StormOutcome, args, telemetry) -> None:
+    if not getattr(args, "shrink", False):
+        return
+    print(f"  shrinking {len(outcome.events)}-event schedule ...")
+    minimal, probes = shrink_storm(outcome, telemetry=telemetry)
+    print(f"  minimal reproducer: {len(minimal)} events ({probes} replay probes)")
+    for event in sorted(minimal, key=lambda e: e.iteration):
+        print(f"    it={event.iteration:5d}  {event.kind.name:5s}  shard={event.shard_id}")
+    out_path = args.out or DEFAULT_REPRODUCER_PATH
+    save_reproducer(out_path, make_reproducer(outcome, minimal))
+    print(f"  [reproducer written to {out_path}]")
+
+
+def _run_replay(args, telemetry) -> int:
+    reproducer = load_reproducer(args.replay)
+    failure = reproducer.get("failure", {})
+    print(f"replaying {args.replay}")
+    print(f"  recorded failure: [{failure.get('invariant')}] {failure.get('message')}")
+    outcome = replay_reproducer(reproducer, telemetry=telemetry)
+    _print_outcome(outcome)
+    if outcome.status == "violated":
+        recorded = failure.get("invariant")
+        if recorded and outcome.signature == recorded:
+            print("  replay reproduced the recorded failure")
+        return 1
+    print("  replay did NOT reproduce the recorded failure")
+    return 0
+
+
+def _run_epochs(config: StormConfig, armed, telemetry) -> int:
+    outcome = run_epoch_storm(config, armed=armed, telemetry=telemetry)
+    print(
+        f"epoch storm: seed={config.seed} epochs={config.epochs} "
+        f"committees={config.num_committees}"
+    )
+    print(f"  status={outcome.status}  epochs-completed={len(outcome.epoch_outcomes)}")
+    for epoch_index, epoch_outcome in enumerate(outcome.epoch_outcomes):
+        result = epoch_outcome.result
+        utility = f"{result.best_utility:.2f}" if result else "-"
+        print(
+            f"  epoch {epoch_index}: events={len(epoch_outcome.events)}"
+            f"  boundaries={len(epoch_outcome.boundaries)}"
+            f"  iterations={result.iterations if result else '-'}"
+            f"  utility={utility}"
+        )
+    if outcome.pipeline is not None:
+        print(
+            f"  total_throughput={outcome.pipeline.total_throughput} TXs"
+            f"  worst_starvation={outcome.pipeline.worst_starvation} epochs"
+        )
+    if outcome.violation is not None:
+        print(f"  VIOLATION: {outcome.violation}")
+        return 1
+    if outcome.infeasible_reason is not None:
+        print(f"  infeasible (graceful): {outcome.infeasible_reason}")
+    return 0
+
+
+def run_storm_cli(args) -> int:
+    """Entry point for ``mvcom storm``; returns the process exit code."""
+    telemetry = build_telemetry(args.trace) if args.trace else NULL_TELEMETRY
+    try:
+        if args.replay:
+            return _run_replay(args, telemetry)
+        config = config_from_args(args)
+        armed = _armed_from_args(args)
+        if config.epochs > 1:
+            return _run_epochs(config, armed, telemetry)
+        outcome = run_storm(config, armed=armed, telemetry=telemetry)
+        _print_outcome(outcome)
+        if outcome.status == "violated":
+            _handle_violation(outcome, args, telemetry)
+            return 1
+        return 0
+    finally:
+        if telemetry is not NULL_TELEMETRY:
+            telemetry.close()
+            if args.trace:
+                print(f"[trace written to {args.trace}]")
