@@ -1,0 +1,125 @@
+"""SE execution-engine bench: parallel Γ-scaling and the vectorized kernel.
+
+Two claims from the engine layer (:mod:`repro.core.engine`):
+
+* ``parallel`` distributes Γ replicas across a process pool and stays
+  **byte-identical** to serial — asserted hard here (masks, traces,
+  iteration counts).  The wall-clock speedup is *recorded*, not asserted:
+  shared CI runners routinely expose a single core, where replica
+  parallelism cannot pay for its pickling.  ``cpu_count`` rides along in
+  the record so a reader can judge the number.
+* ``vectorized`` batches the race kernel into numpy array ops; its
+  single-replica round throughput must beat serial by a wide margin on
+  a thread-rich instance.  The ratio is same-machine (both engines timed
+  back to back), so a regression floor IS asserted.
+
+Records land in ``BENCH_se_convergence.json`` under ``se_engines``.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.se import SEConfig, StochasticExploration
+from repro.data.workload import WorkloadConfig, generate_epoch_workload
+
+
+def _timed_solve(instance, **config_kwargs):
+    solver = StochasticExploration(SEConfig(**config_kwargs))
+    started = time.perf_counter()
+    result = solver.solve(instance)
+    return result, time.perf_counter() - started
+
+
+def _assert_identical(a, b):
+    assert np.array_equal(a.best_mask, b.best_mask)
+    assert a.best_utility == b.best_utility
+    assert a.iterations == b.iterations
+    assert np.array_equal(a.utility_trace, b.utility_trace)
+    assert np.array_equal(a.current_trace, b.current_trace)
+    assert np.array_equal(a.virtual_time_trace, b.virtual_time_trace)
+
+
+def test_engine_bench(perf_recorder):
+    # ---- parallel: Γ=10 over 100 committees, 4 workers ---------------- #
+    workload = generate_epoch_workload(
+        WorkloadConfig(num_committees=100, capacity=100_000, seed=0)
+    )
+    parallel_kwargs = dict(
+        num_threads=10, max_iterations=600, convergence_window=10 ** 6, seed=0
+    )
+    # Warm the spawn pool so process startup is amortised out of the timing,
+    # exactly as it is across repeated solves in a long experiment.
+    _timed_solve(
+        workload.instance, engine="parallel", num_workers=4,
+        num_threads=10, max_iterations=20, convergence_window=10 ** 6, seed=0,
+    )
+    serial_res, serial_wall = _timed_solve(
+        workload.instance, engine="serial", **parallel_kwargs
+    )
+    parallel_res, parallel_wall = _timed_solve(
+        workload.instance, engine="parallel", num_workers=4, **parallel_kwargs
+    )
+    _assert_identical(serial_res, parallel_res)
+    parallel_speedup = serial_wall / parallel_wall
+
+    # ---- vectorized: single-replica round throughput ------------------ #
+    # Thread-rich configuration (300 committees, every cardinality gets a
+    # solution thread) over enough rounds to amortise block-draw startup.
+    vec_workload = generate_epoch_workload(
+        WorkloadConfig(num_committees=300, capacity=300_000, seed=1)
+    )
+    vec_kwargs = dict(
+        num_threads=1, max_iterations=4_000, convergence_window=10 ** 6,
+        seed=1, max_solution_threads=None,
+    )
+    # Warm both paths (allocator, numpy dispatch) before the timed solves.
+    for engine in ("serial", "vectorized"):
+        _timed_solve(
+            vec_workload.instance, engine=engine, num_threads=1,
+            max_iterations=200, convergence_window=10 ** 6, seed=1,
+            max_solution_threads=None,
+        )
+    vserial_res, vserial_wall = _timed_solve(
+        vec_workload.instance, engine="serial", **vec_kwargs
+    )
+    vector_res, vector_wall = _timed_solve(
+        vec_workload.instance, engine="vectorized", **vec_kwargs
+    )
+    serial_rounds_per_s = vserial_res.iterations / vserial_wall
+    vector_rounds_per_s = vector_res.iterations / vector_wall
+    vector_speedup = vector_rounds_per_s / serial_rounds_per_s
+
+    # The vectorized engine is distributional, not byte-identical — but it
+    # must land in the same utility neighbourhood after the same budget.
+    assert vector_res.best_utility >= 0.97 * vserial_res.best_utility
+    # Same-machine ratio: a regression floor well under the ~2.3x observed.
+    assert vector_speedup >= 1.5
+
+    print()
+    print("SE engine bench")
+    print(f"  parallel   Gamma=10, 100 committees, 4 workers, {os.cpu_count()} cpus")
+    print(f"    serial   {serial_wall:7.3f} s")
+    print(f"    parallel {parallel_wall:7.3f} s   speedup {parallel_speedup:5.2f}x")
+    print("  vectorized Gamma=1, 300 committees, all cardinalities, 4000 rounds")
+    print(f"    serial     {serial_rounds_per_s:8.0f} rounds/s")
+    print(f"    vectorized {vector_rounds_per_s:8.0f} rounds/s   "
+          f"speedup {vector_speedup:5.2f}x")
+
+    perf_recorder(
+        "se_engines",
+        cpu_count=os.cpu_count(),
+        parallel_workers=4,
+        parallel_gamma=10,
+        parallel_committees=100,
+        parallel_serial_wall_s=serial_wall,
+        parallel_wall_s=parallel_wall,
+        parallel_speedup=parallel_speedup,
+        parallel_byte_identical=True,
+        vectorized_committees=300,
+        vectorized_rounds=int(vector_res.iterations),
+        serial_rounds_per_s=serial_rounds_per_s,
+        vectorized_rounds_per_s=vector_rounds_per_s,
+        vectorized_speedup=vector_speedup,
+    )

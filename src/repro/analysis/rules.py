@@ -22,6 +22,11 @@ Each rule encodes one discipline the MVCom reproduction depends on:
   sinks (``Telemetry``/``JsonlSink``/``RingBufferSink``): the hub — and with
   it any clock — must arrive as a parameter, defaulting to the inert
   ``NULL_TELEMETRY``.  Only the harness owns wall clocks and trace files.
+* **MV008** executor submissions in ``repro.core``/``repro.harness`` must be
+  module-level (picklable) callables: the parallel SE engine uses a
+  spawn-context ``ProcessPoolExecutor``, and a lambda or closure passed to
+  ``submit``/``map`` pickles fine on fork but dies on spawn — exactly the
+  cross-platform breakage CI cannot see on Linux alone.
 """
 
 from __future__ import annotations
@@ -545,3 +550,84 @@ class InjectedTelemetryRule(Rule):
         if chain[0] in obs_modules and chain[-1] in _LIVE_OBS_NAMES:
             return ".".join(chain)
         return None
+
+
+# ---------------------------------------------------------------------- #
+# MV008
+# ---------------------------------------------------------------------- #
+#: Executor methods whose first argument crosses the pickle boundary.
+_EXECUTOR_METHODS = ("submit", "map")
+
+#: Packages that drive process pools (the parallel SE engine and harness).
+_EXECUTOR_PACKAGES = ("repro/core/", "repro/harness/")
+
+
+@register_rule
+class PicklableSubmissionRule(Rule):
+    """MV008: executor submissions must be module-level picklable callables."""
+
+    rule_id = "MV008"
+    description = (
+        "callables passed to ProcessPoolExecutor submit/map in "
+        "repro/{core,harness} must be module-level functions — lambdas and "
+        "closures break under the spawn start method"
+    )
+
+    def check(self, tree: ast.AST, context: FileContext) -> Iterator[Diagnostic]:
+        if not context.in_package(*_EXECUTOR_PACKAGES):
+            return
+        if not self._imports_executors(tree):
+            return
+        nested = self._nested_callables(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr not in _EXECUTOR_METHODS or not node.args:
+                continue
+            for arg in node.args:
+                for inner in ast.walk(arg):
+                    if isinstance(inner, ast.Lambda):
+                        yield self.diagnostic(
+                            context,
+                            inner,
+                            f"lambda passed to .{node.func.attr}() cannot be "
+                            "pickled by a spawn-context worker; define a "
+                            "module-level function instead",
+                        )
+            target = node.args[0]
+            if isinstance(target, ast.Name) and target.id in nested:
+                yield self.diagnostic(
+                    context,
+                    target,
+                    f"closure {target.id}() passed to .{node.func.attr}() is "
+                    "defined inside another function and cannot be pickled by "
+                    "a spawn-context worker; hoist it to module level",
+                )
+
+    @staticmethod
+    def _imports_executors(tree: ast.AST) -> bool:
+        """True when the module reaches for process/thread pools at all."""
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] in ("concurrent", "multiprocessing"):
+                        return True
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                module = node.module or ""
+                if module.split(".")[0] in ("concurrent", "multiprocessing"):
+                    return True
+        return False
+
+    @staticmethod
+    def _nested_callables(tree: ast.AST) -> Set[str]:
+        """Names of functions defined inside other functions (closures)."""
+        nested: Set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for inner in ast.walk(node):
+                if inner is node:
+                    continue
+                if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    nested.add(inner.name)
+        return nested

@@ -1,0 +1,777 @@
+"""Execution engines for the Stochastic-Exploration race (Alg. 1).
+
+:class:`repro.core.se.StochasticExploration` owns the algorithm; this module
+owns *how fast it runs*.  Three engines share one driver
+(:class:`_EngineRun`) that keeps everything observable on the calling
+process — bootstrap, dynamic events (Alg. 1 lines 9-12), probes, telemetry,
+the :class:`~repro.core.convergence.ConvergenceDetector` and the incumbent
+λ — so rule MV007 and the faultinject probe contract hold for every engine:
+
+``serial``
+    The reference scalar loop (the pre-engine ``solve`` body, verbatim).
+    Golden tests pin it unchanged.
+
+``parallel``
+    The Γ executor replicas are *independent between dynamic-event
+    boundaries* — every stream a replica consumes is keyed by its
+    ``replica_id``, never by iteration order — so each replica is advanced
+    in a worker process for a whole *segment* (up to the next scheduled
+    event, in ``convergence_window``-sized chunks otherwise) and returns a
+    compact per-round log.  The driver merges the logs round-by-round,
+    rebuilds the traces, runs convergence on the merged series and
+    truncates at the exact converged round.  Results are **byte-identical**
+    to the serial engine: same seeds → same masks, traces and iteration
+    counts.  (Merge argument: the incumbent's utility is monotone and
+    bounds every past fired utility, so only a fire that *strictly improves
+    its own replica's running fired-max* can ever win a round; workers log
+    exactly those, and the driver replays the serial replica-order
+    tie-break over them.)
+
+``vectorized``
+    A batched single-process race kernel: each round draws all racing
+    threads' swap pairs and Exp(1) variates in one block from the named
+    ``"vectorized-race"`` stream and evaluates eq. (8) as array ops.  It
+    consumes randomness in a different order than the scalar engines, so it
+    is validated *distributionally* (χ²/KS tests in
+    ``tests/test_core_engines.py``), not byte-wise.
+
+Vectorized stream layout (the engine's own named stream, independent of the
+per-replica scalar streams): per race round one uniform block of shape
+``(T, pair_tries, 3)`` is drawn from ``streams.get("vectorized-race")``,
+where ``T`` counts racing threads in replica-major, cardinality-minor
+order.  Lane ``l`` column 0 is thread ``t``'s out-index draw, column 1 its
+in-index draw, column 2 its Exp(1) inversion draw; lanes beyond the first
+capacity-feasible pair are discarded.  Consumption is therefore
+shape-constant per round — independent of acceptance — which keeps replays
+deterministic for a fixed thread population.  For speed the kernel draws
+several rounds at once as one ``(R, T, pair_tries, 3)`` tensor; the C-order
+fill makes that stream-identical to ``R`` consecutive per-round draws, so
+block size never changes a trajectory.
+"""
+
+from __future__ import annotations
+
+import atexit
+import math
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.convergence import ConvergenceDetector
+from repro.core.dynamics import CommitteeEvent, DynamicSchedule
+from repro.core.problem import EpochInstance
+from repro.core.se import (
+    InfeasibleEpochError,
+    SEResult,
+    StochasticExploration,
+    _Replica,
+)
+from repro.core.solution import Solution
+from repro.core.timers import clamped_exp
+from repro.sim.rng import RandomStreams
+
+#: Engines selectable via ``SEConfig(engine=...)``.
+ENGINE_NAMES = ("serial", "parallel", "vectorized")
+
+
+# ------------------------------------------------------------------ #
+# shared driver state
+# ------------------------------------------------------------------ #
+class _EngineRun:
+    """Driver-side bookkeeping shared by all engines.
+
+    Owns exactly the state the pre-engine ``solve`` loop kept on its stack:
+    the named streams, the replicas, the incumbent, traces, detector and
+    applied events.  Engines differ only in how they advance the replicas
+    between event boundaries.
+    """
+
+    def __init__(
+        self,
+        solver: StochasticExploration,
+        instance: EpochInstance,
+        schedule: Optional[DynamicSchedule],
+        probe: Optional[Callable[..., None]],
+    ) -> None:
+        self.solver = solver
+        self.config = solver.config
+        self.telemetry = solver.telemetry
+        self.traced = solver.telemetry.enabled  # hoisted: race loops pay one load
+        self.instance = instance
+        self.schedule = schedule
+        self.probe = probe
+        self.streams = RandomStreams(self.config.seed)
+        self.replicas = solver._spawn_replicas(instance, self.streams)
+        if not any(thread.active for replica in self.replicas for thread in replica.threads):
+            raise InfeasibleEpochError(
+                "no feasible solution at any thread cardinality; capacity too small"
+            )
+        if schedule is not None:
+            schedule.reset()
+        if self.traced:
+            cardinalities = [t.cardinality for t in self.replicas[0].threads]
+            self.telemetry.event(
+                "se.bootstrap",
+                replicas=len(self.replicas),
+                solution_threads=len(cardinalities),
+                n_lo=min(cardinalities),
+                n_hi=max(cardinalities),
+                num_shards=instance.num_shards,
+                capacity=instance.capacity,
+            )
+        self.detector = ConvergenceDetector(
+            window=self.config.convergence_window, tolerance=self.config.tolerance
+        )
+        best = solver._best_current(self.replicas)
+        self.best = solver._maybe_full_solution(instance, best)
+        self.utility_trace: List[float] = []
+        self.current_trace: List[float] = []
+        self.time_trace: List[float] = []
+        self.events_applied: List[CommitteeEvent] = []
+        self.converged = False
+        self.iterations = 0
+
+    # -------------------------------------------------------------- #
+    def apply_due_events(self, iteration: int) -> None:
+        """Alg. 1 lines 9-12 at one boundary (identical to the serial loop)."""
+        if self.schedule is None:
+            return
+        fired_events = self.schedule.due(iteration)
+        if not fired_events:
+            return
+        solver = self.solver
+        self.instance = solver._apply_events(
+            self.instance, self.replicas, fired_events, self.streams
+        )
+        self.events_applied.extend(fired_events)
+        self.detector.reset()
+        self.best = solver._rebase_best(self.best, self.instance)
+        self.best = solver._pick_better(self.best, solver._best_current(self.replicas))
+        self.best = solver._maybe_full_solution(self.instance, self.best)
+        if self.probe is not None:
+            self.probe(
+                iteration=iteration,
+                events=fired_events,
+                instance=self.instance,
+                best=self.best,
+                replicas=self.replicas,
+            )
+        if self.traced:
+            for event in fired_events:
+                self.telemetry.event(
+                    "se.dynamic",
+                    iteration=iteration,
+                    kind=event.kind.name,
+                    shard_id=event.shard_id,
+                    num_shards=self.instance.num_shards,
+                )
+
+    def finish_round(
+        self, iteration: int, current: float, virtual_time: float, transitions: int
+    ) -> bool:
+        """Trace/telemetry/convergence tail of one race round.
+
+        Returns True when the run is converged *and* the schedule is
+        exhausted — the loop-break condition of the serial engine.
+        """
+        self.iterations = iteration + 1
+        self.utility_trace.append(self.best.utility)
+        self.current_trace.append(current)
+        self.time_trace.append(virtual_time)
+        if self.traced:
+            # Each fired timer triggers one RESET broadcast: every sibling
+            # solution re-draws its pair and timer (Alg. 1).
+            self.telemetry.count("se.reset_broadcasts", transitions, iteration=iteration)
+            self.telemetry.event(
+                "se.round",
+                iteration=iteration,
+                best_utility=self.best.utility,
+                current_utility=current,
+                virtual_time=virtual_time,
+                transitions=transitions,
+            )
+        if self.detector.update(self.best.utility) and (
+            self.schedule is None or self.schedule.exhausted
+        ):
+            self.converged = True
+            return True
+        return False
+
+    def segment_length(self, iteration: int) -> int:
+        """Rounds until the next event boundary, capped at one chunk.
+
+        Chunks are ``convergence_window``-sized so a converged run never
+        overshoots by more than one window of (discarded) worker rounds.
+        """
+        limit = self.config.max_iterations
+        if self.schedule is not None and not self.schedule.exhausted:
+            limit = min(limit, self.schedule.next_iteration)
+        if limit <= iteration:
+            limit = iteration + 1
+        return min(limit - iteration, max(1, self.config.convergence_window))
+
+    def result(self) -> SEResult:
+        """Materialise the :class:`~repro.core.se.SEResult` (with se.done)."""
+        if self.traced:
+            self.telemetry.event(
+                "se.done",
+                iterations=self.iterations,
+                converged=self.converged,
+                best_utility=self.best.utility,
+                best_count=self.best.count,
+                best_weight=self.best.weight,
+                events_applied=len(self.events_applied),
+            )
+        return SEResult(
+            best_mask=self.best.mask.copy(),
+            best_utility=self.best.utility,
+            best_weight=self.best.weight,
+            best_count=self.best.count,
+            iterations=self.iterations,
+            converged=self.converged,
+            utility_trace=np.asarray(self.utility_trace),
+            current_trace=np.asarray(self.current_trace),
+            virtual_time_trace=np.asarray(self.time_trace),
+            thread_cardinalities=[t.cardinality for t in self.replicas[0].threads],
+            num_replicas=len(self.replicas),
+            events_applied=self.events_applied,
+            final_instance=self.instance,
+        )
+
+
+# ------------------------------------------------------------------ #
+# serial engine (reference)
+# ------------------------------------------------------------------ #
+def run_serial(run: _EngineRun) -> SEResult:
+    """The reference scalar loop — the pre-engine ``solve`` body."""
+    config = run.config
+    telemetry = run.telemetry
+    traced = run.traced
+    for iteration in range(config.max_iterations):
+        run.apply_due_events(iteration)
+        round_best: Optional[Solution] = None
+        transitions = 0
+        for replica_index, replica in enumerate(run.replicas):
+            fired = replica.race_round()
+            if fired is not None and fired.solution is not None:
+                transitions += 1
+                if traced:
+                    swap_out, swap_in = fired.last_swap or (-1, -1)
+                    telemetry.event(
+                        "se.transition",
+                        iteration=iteration,
+                        replica=replica_index,
+                        cardinality=fired.cardinality,
+                        swap_out=swap_out,
+                        swap_in=swap_in,
+                        utility=fired.solution.utility,
+                    )
+                if round_best is None or fired.solution.utility > round_best.utility:
+                    round_best = fired.solution
+        run.best = run.solver._pick_better(run.best, round_best)
+        current = max(replica.current_utility for replica in run.replicas)
+        virtual_time = max(replica.virtual_time for replica in run.replicas)
+        if run.finish_round(iteration, current, virtual_time, transitions):
+            break
+    return run.result()
+
+
+# ------------------------------------------------------------------ #
+# parallel engine (process pool over replicas, byte-identical)
+# ------------------------------------------------------------------ #
+@dataclass
+class _SegmentLog:
+    """Compact per-round log a worker returns for one replica segment.
+
+    ``improvements[k]`` is ``(utility, weight, count, selected_bytes)`` for
+    the round-``k`` fires that strictly improved this replica's running
+    fired-max within the segment — a superset of every fire that could win
+    a round against the monotone incumbent, which is all the driver needs
+    to rebuild the serial best-tracking byte-for-byte.
+    """
+
+    fired: List[bool]
+    fired_utilities: List[float]
+    cardinalities: List[int]
+    swaps: List[Optional[Tuple[int, int]]]
+    currents: List[float]
+    virtual_times: List[float]
+    improvements: Dict[int, Tuple[float, int, int, bytes]]
+
+
+def advance_replica_segment(replica: _Replica, rounds: int) -> Tuple[_Replica, _SegmentLog]:
+    """Advance one executor replica ``rounds`` race rounds (worker entry).
+
+    Runs only the pure race (Alg. 1 lines 14-21 / Alg. 3 timers, eq. 8);
+    dynamic events, probes and telemetry stay on the driver.  Module-level
+    by design: :class:`concurrent.futures.ProcessPoolExecutor` must pickle
+    the callable for spawn-safe dispatch (lint rule MV008).
+    """
+    fired: List[bool] = []
+    fired_utilities: List[float] = []
+    cardinalities: List[int] = []
+    swaps: List[Optional[Tuple[int, int]]] = []
+    currents: List[float] = []
+    virtual_times: List[float] = []
+    improvements: Dict[int, Tuple[float, int, int, bytes]] = {}
+    local_max = float("-inf")
+    for k in range(rounds):
+        winner = replica.race_round()
+        if winner is not None and winner.solution is not None:
+            solution = winner.solution
+            utility = solution.utility
+            fired.append(True)
+            fired_utilities.append(utility)
+            cardinalities.append(winner.cardinality)
+            swaps.append(winner.last_swap)
+            if utility > local_max:
+                local_max = utility
+                improvements[k] = (
+                    utility,
+                    solution.weight,
+                    solution.count,
+                    bytes(solution.selected),
+                )
+        else:
+            fired.append(False)
+            fired_utilities.append(float("-inf"))
+            cardinalities.append(-1)
+            swaps.append(None)
+        currents.append(replica.current_utility)
+        virtual_times.append(replica.virtual_time)
+    return replica, _SegmentLog(
+        fired=fired,
+        fired_utilities=fired_utilities,
+        cardinalities=cardinalities,
+        swaps=swaps,
+        currents=currents,
+        virtual_times=virtual_times,
+        improvements=improvements,
+    )
+
+
+_WORKER_POOLS: Dict[int, ProcessPoolExecutor] = {}
+
+
+def _shared_pool(num_workers: int) -> ProcessPoolExecutor:
+    """Process pool reused across solves (spawn startup is seconds-scale)."""
+    pool = _WORKER_POOLS.get(num_workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(
+            max_workers=num_workers, mp_context=multiprocessing.get_context("spawn")
+        )
+        _WORKER_POOLS[num_workers] = pool
+    return pool
+
+
+def shutdown_worker_pools() -> None:
+    """Tear down every cached parallel-engine pool (registered atexit)."""
+    for pool in _WORKER_POOLS.values():
+        pool.shutdown()
+    _WORKER_POOLS.clear()
+
+
+atexit.register(shutdown_worker_pools)
+
+
+def _solution_from_log(
+    instance: EpochInstance, parts: Tuple[float, int, int, bytes]
+) -> Solution:
+    """Rehydrate a worker-logged solution, carrying its caches verbatim.
+
+    The incremental float caches must transfer bit-for-bit (recomputing
+    utility from the mask can differ in the last bit), so this bypasses
+    ``Solution.__init__``.
+    """
+    utility, weight, count, selected = parts
+    solution = Solution.__new__(Solution)
+    solution.instance = instance
+    solution.selected = bytearray(selected)
+    solution._utility = utility
+    solution._weight = weight
+    solution._count = count
+    return solution
+
+
+def _merge_segment(
+    run: _EngineRun, start_iteration: int, segment: int, logs: List[_SegmentLog]
+) -> bool:
+    """Replay one segment's worker logs through the serial round tail.
+
+    Scans each round's improvement records in replica order with the serial
+    strict-``>`` tie-break, so the incumbent, traces and convergence
+    decision come out byte-identical.  Returns True on convergence (the
+    segment's remaining rounds are discarded, as the serial loop would
+    never have executed them).
+    """
+    telemetry = run.telemetry
+    traced = run.traced
+    for k in range(segment):
+        iteration = start_iteration + k
+        transitions = 0
+        candidate: Optional[Tuple[float, int, int, bytes]] = None
+        for replica_index, log in enumerate(logs):
+            if not log.fired[k]:
+                continue
+            transitions += 1
+            if traced:
+                swap_out, swap_in = log.swaps[k] or (-1, -1)
+                telemetry.event(
+                    "se.transition",
+                    iteration=iteration,
+                    replica=replica_index,
+                    cardinality=log.cardinalities[k],
+                    swap_out=swap_out,
+                    swap_in=swap_in,
+                    utility=log.fired_utilities[k],
+                )
+            improvement = log.improvements.get(k)
+            if improvement is not None and (
+                candidate is None or improvement[0] > candidate[0]
+            ):
+                candidate = improvement
+        if candidate is not None and candidate[0] > run.best.utility:
+            run.best = _solution_from_log(run.instance, candidate)
+        current = max(log.currents[k] for log in logs)
+        virtual_time = max(log.virtual_times[k] for log in logs)
+        if run.finish_round(iteration, current, virtual_time, transitions):
+            return True
+    return False
+
+
+def _rebind_instance(replicas: List[_Replica], instance: EpochInstance) -> None:
+    """Point every unpickled thread solution back at the driver's instance.
+
+    Workers never mutate the instance, but round-tripping a replica through
+    pickle gives its solutions a value-equal *copy*.  The serial loop's
+    invariant — and the storm probe's ``best.instance is instance`` check —
+    require the single shared object, so restore identity after each
+    segment.  Cached utility/weight scalars stay valid (the copy is equal).
+    """
+    for replica in replicas:
+        for thread in replica.threads:
+            if thread.solution is not None:
+                thread.solution.instance = instance
+
+
+def run_parallel(run: _EngineRun) -> SEResult:
+    """Segmented Γ-replica execution over a spawn-safe process pool."""
+    config = run.config
+    pool = _shared_pool(config.num_workers)
+    iteration = 0
+    while iteration < config.max_iterations:
+        run.apply_due_events(iteration)
+        segment = run.segment_length(iteration)
+        futures = [
+            pool.submit(advance_replica_segment, replica, segment)
+            for replica in run.replicas
+        ]
+        outcomes = [future.result() for future in futures]
+        run.replicas = [replica for replica, _ in outcomes]
+        _rebind_instance(run.replicas, run.instance)
+        logs = [log for _, log in outcomes]
+        if _merge_segment(run, iteration, segment, logs):
+            break
+        iteration += segment
+    return run.result()
+
+
+# ------------------------------------------------------------------ #
+# vectorized engine (batched race kernel, distributional)
+# ------------------------------------------------------------------ #
+class _VectorState:
+    """Flattened array mirror of every *racing* solution thread.
+
+    A thread races when it holds a solution with both selected and
+    unselected positions; threads with nothing to swap (e.g. the
+    full-cardinality :math:`f_{|I_j|}`) contribute a constant
+    ``static_current`` instead.  Rows are replica-major so per-replica
+    argmin reductions are contiguous slices.
+
+    Hot-path layout: per-thread ``sel``/``unsel`` index rows are stored as
+    flat arrays together with ``tx``/``half_beta*value`` gather mirrors, so
+    one round costs a handful of ``take`` gathers on ``(T,)`` arrays.  The
+    cardinalities never change, so the uniform draws for many rounds are
+    pre-shaped into index/log-variate blocks at once
+    (:meth:`start_block`) — stream-equivalent to per-round draws.
+    """
+
+    def __init__(self, replicas: List[_Replica], instance: EpochInstance, config) -> None:
+        self.instance = instance
+        self.replicas = replicas
+        self.threads: List = []
+        self.groups: List[Tuple[int, int]] = []
+        static_current = float("-inf")
+        for replica in replicas:
+            start = len(self.threads)
+            for thread in replica.threads:
+                if thread.solution is None:
+                    continue
+                if thread.sel and thread.unsel:
+                    self.threads.append(thread)
+                else:
+                    static_current = max(static_current, thread.solution.utility)
+            self.groups.append((start, len(self.threads)))
+        self.static_current = static_current
+        size = len(self.threads)
+        self.size = size
+        num_shards = instance.num_shards
+        max_sel = max((len(t.sel) for t in self.threads), default=1)
+        max_unsel = max((len(t.unsel) for t in self.threads), default=1)
+        self.max_sel = max_sel
+        self.max_unsel = max_unsel
+        self.num_shards = num_shards
+        sel = np.zeros((size, max_sel), dtype=np.int64)
+        unsel = np.zeros((size, max_unsel), dtype=np.int64)
+        self.n_sel = np.zeros(size, dtype=np.int64)
+        self.n_unsel = np.zeros(size, dtype=np.int64)
+        self.utility = np.zeros(size, dtype=np.float64)
+        self.weight = np.zeros(size, dtype=np.int64)
+        self.cards = np.zeros(size, dtype=np.int64)
+        for row, thread in enumerate(self.threads):
+            solution = thread.solution
+            sel[row, : len(thread.sel)] = thread.sel
+            unsel[row, : len(thread.unsel)] = thread.unsel
+            self.n_sel[row] = len(thread.sel)
+            self.n_unsel[row] = len(thread.unsel)
+            self.utility[row] = solution.utility
+            self.weight[row] = solution.weight
+            self.cards[row] = thread.cardinality
+        self.len_sel = self.n_sel.astype(np.float64)
+        self.len_unsel = self.n_unsel.astype(np.float64)
+        self.slack = instance.capacity - self.weight
+        self.tx_list = instance.tx_counts_list
+        self.values_list = instance.values_list
+        self.half_beta = 0.5 * config.beta
+        self.hbv_list = [self.half_beta * value for value in instance.values_list]
+        self.log_mean_base = config.tau - np.log(self.len_unsel)
+        self.pair_tries = config.pair_tries
+        # Flat row-major stores plus gather mirrors: tx for the capacity
+        # check (const. 4) and half_beta*value for the eq. (8) exponent.
+        tx = np.asarray(instance.tx_counts, dtype=np.int64)
+        hbv = self.half_beta * np.asarray(instance.values, dtype=np.float64)
+        self.sel_flat = sel.reshape(-1)
+        self.unsel_flat = unsel.reshape(-1)
+        self.tx_sel = tx[sel].reshape(-1)
+        self.tx_unsel = tx[unsel].reshape(-1)
+        self.hbv_sel = hbv[sel].reshape(-1)
+        self.hbv_unsel = hbv[unsel].reshape(-1)
+        self.rows = np.arange(size)
+        self.off_sel = (np.arange(size, dtype=np.int64) * max_sel)
+        self.off_unsel = (np.arange(size, dtype=np.int64) * max_unsel)
+        self.virtual_times = np.array(
+            [replica.virtual_time for replica in replicas], dtype=np.float64
+        )
+        # Running current-utility max over racing rows (same incremental
+        # rule as _Replica.race_round, rescans only on downhill max fires).
+        self.racing_current = float(self.utility.max()) if size else float("-inf")
+        self._blk_out: Optional[np.ndarray] = None
+        self._blk_in: Optional[np.ndarray] = None
+        self._blk_timer_base: Optional[np.ndarray] = None
+
+    # -------------------------------------------------------------- #
+    def start_block(self, rng: np.random.Generator, rounds: int) -> None:
+        """Draw and pre-shape ``rounds`` rounds of uniforms in one batch.
+
+        Two draws per block: a ``(rounds, T, pair_tries, 2)`` tensor of
+        pair-index uniforms and a ``(rounds, T)`` tensor of Exp(1)
+        inversion uniforms (one per thread-round — only the armed lane's
+        timer is ever needed).  C-order fill makes a block stream-identical
+        to per-round draws, so block size never changes a trajectory.
+        """
+        draws = rng.random((rounds, self.size, self.pair_tries, 2))
+        out = (draws[..., 0] * self.len_sel[:, None]).astype(np.int64)
+        np.minimum(out, self.n_sel[:, None] - 1, out=out)
+        out += self.off_sel[:, None]
+        inn = (draws[..., 1] * self.len_unsel[:, None]).astype(np.int64)
+        np.minimum(inn, self.n_unsel[:, None] - 1, out=inn)
+        inn += self.off_unsel[:, None]
+        self._blk_out = out
+        self._blk_in = inn
+        exp_draws = rng.random((rounds, self.size))
+        # Pre-fold the eq. (8) log-mean base and the Exp(1) inversion so a
+        # round's timer is just two gathers and two adds on (T,) arrays.
+        self._blk_timer_base = self.log_mean_base + np.log(
+            np.maximum(-np.log1p(-exp_draws), 1e-300)
+        )
+
+    def race_round(self, block_round: int) -> List[Tuple[int, int, int, int]]:
+        """One batched race round; returns fires as (group, row, out, in).
+
+        Semantics match the scalar Set-timer()/State-Transit pair: each
+        thread tries up to ``pair_tries`` uniform swap pairs, arms an
+        eq. (8) log-timer on the first capacity-feasible one (const. 4),
+        and each replica fires its minimum armed timer.
+        """
+        if self.size == 0:
+            return []
+        blk_out = self._blk_out[block_round]  # (T, pair_tries) views
+        blk_in = self._blk_in[block_round]
+        tx_out = self.tx_sel.take(blk_out)
+        tx_in = self.tx_unsel.take(blk_in)
+        accepted = (tx_in - tx_out) <= self.slack[:, None]
+        lane = np.argmax(accepted, axis=1)  # first feasible lane per thread
+        armed = accepted.any(axis=1)
+        rows = self.rows
+        flat_out = blk_out[rows, lane]
+        flat_in = blk_in[rows, lane]
+        timers = (
+            self._blk_timer_base[block_round]
+            - self.hbv_unsel.take(flat_in)
+            + self.hbv_sel.take(flat_out)
+        )
+        timers[~armed] = np.inf  # parked: no feasible pair within the budget
+        fires: List[Tuple[int, int, int, int]] = []
+        for group, (start, end) in enumerate(self.groups):
+            if end == start:
+                continue
+            row = start + int(np.argmin(timers[start:end]))
+            log_min = float(timers[row])
+            if math.isinf(log_min):
+                continue  # no thread in this replica armed a feasible pair
+            self.virtual_times[group] += clamped_exp(log_min)
+            swap_out = int(self.sel_flat[flat_out[row]])
+            swap_in = int(self.unsel_flat[flat_in[row]])
+            self._fire(row, int(flat_out[row]), int(flat_in[row]), swap_out, swap_in)
+            fires.append((group, row, swap_out, swap_in))
+        return fires
+
+    def _fire(
+        self, row: int, flat_out: int, flat_in: int, pos_out: int, pos_in: int
+    ) -> None:
+        self.sel_flat[flat_out] = pos_in
+        self.unsel_flat[flat_in] = pos_out
+        self.tx_sel[flat_out] = self.tx_list[pos_in]
+        self.tx_unsel[flat_in] = self.tx_list[pos_out]
+        self.hbv_sel[flat_out] = self.hbv_list[pos_in]
+        self.hbv_unsel[flat_in] = self.hbv_list[pos_out]
+        weight_delta = self.tx_list[pos_in] - self.tx_list[pos_out]
+        self.weight[row] += weight_delta
+        self.slack[row] -= weight_delta
+        before = float(self.utility[row])
+        after = before + (self.values_list[pos_in] - self.values_list[pos_out])
+        self.utility[row] = after
+        if after > self.racing_current:
+            self.racing_current = after
+        elif before == self.racing_current and after < before:
+            self.racing_current = float(self.utility.max())
+
+    def current_utility(self) -> float:
+        """Best current utility across racing and static threads."""
+        if self.size == 0:
+            return self.static_current
+        return max(self.static_current, self.racing_current)
+
+    def solution_at(self, row: int) -> Solution:
+        """Materialise row ``row`` as a :class:`Solution` (caches carried)."""
+        count = int(self.n_sel[row])
+        offset = int(self.off_sel[row])
+        mask = np.zeros(self.num_shards, dtype=bool)
+        mask[self.sel_flat[offset : offset + count]] = True
+        solution = Solution.__new__(Solution)
+        solution.instance = self.instance
+        solution.selected = bytearray(mask.view(np.uint8).tobytes())
+        solution._utility = float(self.utility[row])
+        solution._weight = int(self.weight[row])
+        solution._count = count
+        return solution
+
+    def sync_back(self) -> None:
+        """Write array state back into the thread objects (event boundaries)."""
+        for row, thread in enumerate(self.threads):
+            thread.set_solution(self.solution_at(row))
+        for group, replica in enumerate(self.replicas):
+            replica.virtual_time = float(self.virtual_times[group])
+            replica.recompute_current()
+
+
+def run_vectorized(run: _EngineRun) -> SEResult:
+    """Batched single-process race; arrays persist between event boundaries."""
+    config = run.config
+    telemetry = run.telemetry
+    traced = run.traced
+    race_rng = run.streams.get("vectorized-race")
+    state: Optional[_VectorState] = None
+    iteration = 0
+    done = False
+    while not done and iteration < config.max_iterations:
+        schedule = run.schedule
+        if (
+            schedule is not None
+            and not schedule.exhausted
+            and schedule.next_iteration <= iteration
+        ):
+            if state is not None:
+                state.sync_back()
+                state = None
+            run.apply_due_events(iteration)
+        if state is None:
+            state = _VectorState(run.replicas, run.instance, config)
+        segment = run.segment_length(iteration)
+        block_round = 0
+        block_rounds = 0
+        for round_index in range(iteration, iteration + segment):
+            if block_round >= block_rounds:
+                remaining = iteration + segment - round_index
+                block_rounds = min(remaining, max(1, 8192 // max(1, state.size)))
+                state.start_block(race_rng, block_rounds)
+                block_round = 0
+            fires = state.race_round(block_round)
+            block_round += 1
+            best_row = -1
+            best_fired = float("-inf")
+            for group, row, swap_out, swap_in in fires:
+                fired_utility = float(state.utility[row])
+                if traced:
+                    telemetry.event(
+                        "se.transition",
+                        iteration=round_index,
+                        replica=group,
+                        cardinality=int(state.cards[row]),
+                        swap_out=swap_out,
+                        swap_in=swap_in,
+                        utility=fired_utility,
+                    )
+                if fired_utility > best_fired:
+                    best_fired = fired_utility
+                    best_row = row
+            if best_row >= 0 and best_fired > run.best.utility:
+                run.best = state.solution_at(best_row)
+            current = state.current_utility()
+            virtual_time = float(state.virtual_times.max()) if state.size else 0.0
+            if run.finish_round(round_index, current, virtual_time, len(fires)):
+                done = True
+                break
+        else:
+            iteration += segment
+    if state is not None:
+        state.sync_back()
+    return run.result()
+
+
+# ------------------------------------------------------------------ #
+# dispatch
+# ------------------------------------------------------------------ #
+def run_engine(
+    solver: StochasticExploration,
+    instance: EpochInstance,
+    schedule: Optional[DynamicSchedule] = None,
+    probe: Optional[Callable[..., None]] = None,
+) -> SEResult:
+    """Run one SE solve on the engine named by ``solver.config.engine``.
+
+    All engines return an :class:`~repro.core.se.SEResult` whose best
+    solution satisfies const. (3) ``count >= N_min`` and const. (4)
+    ``weight <= Ĉ``; ``serial`` and ``parallel`` are byte-identical for a
+    given ``SEConfig.seed``, ``vectorized`` matches distributionally.
+    """
+    run = _EngineRun(solver, instance, schedule, probe)
+    engine = solver.config.engine
+    if engine == "parallel":
+        return run_parallel(run)
+    if engine == "vectorized":
+        return run_vectorized(run)
+    return run_serial(run)

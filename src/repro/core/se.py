@@ -41,7 +41,6 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.convergence import ConvergenceDetector
 from repro.core.dynamics import CommitteeEvent, DynamicSchedule, EventKind
 from repro.core.problem import DEFAULT_BETA, DEFAULT_TAU, EpochInstance
 from repro.core.repair import repair_feasibility
@@ -67,6 +66,12 @@ class SEConfig:
     cardinality, exactly as in Alg. 1.  ``pair_tries`` bounds the rejection
     sampling used to find a capacity-feasible swap pair in Set-timer();
     ``init_tries`` bounds Alg. 2's "re-pick until Cons. (4) holds" loop.
+
+    ``engine`` selects the execution engine (:mod:`repro.core.engine`):
+    ``"serial"`` is the reference scalar loop, ``"parallel"`` fans the Γ
+    replicas across a spawn-safe process pool (``num_workers`` processes)
+    with byte-identical results, and ``"vectorized"`` runs a batched
+    single-process race kernel validated distributionally.
     """
 
     beta: float = DEFAULT_BETA
@@ -80,6 +85,8 @@ class SEConfig:
     init_tries: int = 200
     include_full_solution: bool = True
     max_solution_threads: Optional[int] = 64
+    engine: str = "serial"
+    num_workers: int = 4
 
     def __post_init__(self) -> None:
         if self.beta <= 0:
@@ -92,6 +99,12 @@ class SEConfig:
             raise ValueError("retry budgets must be positive")
         if self.max_solution_threads is not None and self.max_solution_threads <= 0:
             raise ValueError("max_solution_threads must be positive or None")
+        if self.engine not in ("serial", "parallel", "vectorized"):
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected serial, parallel or vectorized"
+            )
+        if self.num_workers <= 0:
+            raise ValueError("num_workers must be positive")
 
 
 @dataclass
@@ -311,12 +324,29 @@ class _Replica:
     independent regardless of iteration order (the premise behind Fig. 8).
     """
 
-    __slots__ = ("replica_id", "threads", "virtual_time")
+    __slots__ = ("replica_id", "threads", "virtual_time", "current_utility")
 
     def __init__(self, replica_id: int, threads: List[_SolutionThread]) -> None:
         self.replica_id = replica_id
         self.threads = threads
         self.virtual_time = 0.0
+        self.current_utility = float("-inf")
+        self.recompute_current()
+
+    def recompute_current(self) -> None:
+        """Rebuild the running current-utility max from a full thread scan.
+
+        Only needed at bootstrap and dynamic-event boundaries; inside the
+        race :meth:`race_round` maintains the max incrementally (exactly one
+        thread mutates per round, so a full ``O(threads)`` rescan per round
+        was pure overhead).
+        """
+        best = float("-inf")
+        for thread in self.threads:
+            solution = thread.solution
+            if solution is not None and solution.utility > best:
+                best = solution.utility
+        self.current_utility = best
 
     def race_round(self) -> Optional[_SolutionThread]:
         """Arm every solution (the RESET re-draw), fire the earliest timer.
@@ -335,7 +365,16 @@ class _Replica:
         if winner is None:
             return None
         self.virtual_time += clamped_exp(winner_log)
+        before = winner.solution.utility
         winner.fire()
+        after = winner.solution.utility
+        # Incremental current-utility maintenance: the fired thread is the
+        # only mutation this round.  Its rise can only raise the max; its
+        # fall forces a rescan only when it held the max alone.
+        if after > self.current_utility:
+            self.current_utility = after
+        elif before == self.current_utility and after < before:
+            self.recompute_current()
         return winner
 
     def best_solution(self) -> Optional[Solution]:
@@ -404,138 +443,16 @@ class StochasticExploration:
         run; :mod:`repro.faultinject` uses it to arm feasibility /
         conservation invariants during churn storms.  The probe draws no
         randomness, so passing one never perturbs the seeded trajectory.
+
+        The race itself executes on the engine selected by
+        ``config.engine`` (:mod:`repro.core.engine`): the serial reference
+        loop, the byte-identical parallel replica pool, or the batched
+        vectorized kernel.  Probes and telemetry always run on this driver
+        process regardless of engine.
         """
-        streams = RandomStreams(self.config.seed)
-        replicas = self._spawn_replicas(instance, streams)
-        if not any(thread.active for replica in replicas for thread in replica.threads):
-            raise InfeasibleEpochError(
-                "no feasible solution at any thread cardinality; capacity too small"
-            )
-        if schedule is not None:
-            schedule.reset()
+        from repro.core import engine as engine_module  # deferred: engine imports se
 
-        telemetry = self.telemetry
-        traced = telemetry.enabled  # hoisted so the race loop pays one load
-        if traced:
-            cardinalities = [t.cardinality for t in replicas[0].threads]
-            telemetry.event(
-                "se.bootstrap",
-                replicas=len(replicas),
-                solution_threads=len(cardinalities),
-                n_lo=min(cardinalities),
-                n_hi=max(cardinalities),
-                num_shards=instance.num_shards,
-                capacity=instance.capacity,
-            )
-
-        detector = ConvergenceDetector(
-            window=self.config.convergence_window, tolerance=self.config.tolerance
-        )
-        best = self._best_current(replicas)
-        best = self._maybe_full_solution(instance, best)
-        utility_trace: List[float] = []
-        current_trace: List[float] = []
-        time_trace: List[float] = []
-        events_applied: List[CommitteeEvent] = []
-        converged = False
-        iterations = 0
-
-        for iteration in range(self.config.max_iterations):
-            iterations = iteration + 1
-            if schedule is not None:
-                fired_events = schedule.due(iteration)
-                if fired_events:
-                    instance = self._apply_events(instance, replicas, fired_events, streams)
-                    events_applied.extend(fired_events)
-                    detector.reset()
-                    best = self._rebase_best(best, instance)
-                    best = self._pick_better(best, self._best_current(replicas))
-                    best = self._maybe_full_solution(instance, best)
-                    if probe is not None:
-                        probe(
-                            iteration=iteration,
-                            events=fired_events,
-                            instance=instance,
-                            best=best,
-                            replicas=replicas,
-                        )
-                    if traced:
-                        for event in fired_events:
-                            telemetry.event(
-                                "se.dynamic",
-                                iteration=iteration,
-                                kind=event.kind.name,
-                                shard_id=event.shard_id,
-                                num_shards=instance.num_shards,
-                            )
-
-            round_best: Optional[Solution] = None
-            transitions = 0
-            for replica_index, replica in enumerate(replicas):
-                fired = replica.race_round()
-                if fired is not None and fired.solution is not None:
-                    transitions += 1
-                    if traced:
-                        swap_out, swap_in = fired.last_swap or (-1, -1)
-                        telemetry.event(
-                            "se.transition",
-                            iteration=iteration,
-                            replica=replica_index,
-                            cardinality=fired.cardinality,
-                            swap_out=swap_out,
-                            swap_in=swap_in,
-                            utility=fired.solution.utility,
-                        )
-                    if round_best is None or fired.solution.utility > round_best.utility:
-                        round_best = fired.solution
-            best = self._pick_better(best, round_best)
-
-            current = self._current_utility(replicas)
-            virtual_time = max(replica.virtual_time for replica in replicas)
-            utility_trace.append(best.utility)
-            current_trace.append(current)
-            time_trace.append(virtual_time)
-            if traced:
-                # Each fired timer triggers one RESET broadcast: every
-                # sibling solution re-draws its pair and timer (Alg. 1).
-                telemetry.count("se.reset_broadcasts", transitions, iteration=iteration)
-                telemetry.event(
-                    "se.round",
-                    iteration=iteration,
-                    best_utility=best.utility,
-                    current_utility=current,
-                    virtual_time=virtual_time,
-                    transitions=transitions,
-                )
-            if detector.update(best.utility) and (schedule is None or schedule.exhausted):
-                converged = True
-                break
-
-        if traced:
-            telemetry.event(
-                "se.done",
-                iterations=iterations,
-                converged=converged,
-                best_utility=best.utility,
-                best_count=best.count,
-                best_weight=best.weight,
-                events_applied=len(events_applied),
-            )
-        return SEResult(
-            best_mask=best.mask.copy(),
-            best_utility=best.utility,
-            best_weight=best.weight,
-            best_count=best.count,
-            iterations=iterations,
-            converged=converged,
-            utility_trace=np.asarray(utility_trace),
-            current_trace=np.asarray(current_trace),
-            virtual_time_trace=np.asarray(time_trace),
-            thread_cardinalities=[t.cardinality for t in replicas[0].threads],
-            num_replicas=len(replicas),
-            events_applied=events_applied,
-            final_instance=instance,
-        )
+        return engine_module.run_engine(self, instance, schedule, probe)
 
     # -------------------------------------------------------------- #
     # internals
@@ -587,12 +504,8 @@ class StochasticExploration:
 
     @staticmethod
     def _current_utility(replicas: Sequence[_Replica]) -> float:
-        best = float("-inf")
-        for replica in replicas:
-            for thread in replica.threads:
-                if thread.solution is not None and thread.solution.utility > best:
-                    best = thread.solution.utility
-        return best
+        """Best current utility across replicas (cached running maxes)."""
+        return max(replica.current_utility for replica in replicas)
 
     @staticmethod
     def _pick_better(best: Solution, candidate: Optional[Solution]) -> Solution:
@@ -659,6 +572,7 @@ class StochasticExploration:
                 thread.timer = None
                 reseated.append(thread)
             replica.threads = reseated
+            replica.recompute_current()
         if self.telemetry.enabled:
             self.telemetry.event(
                 "se.reseat",

@@ -71,8 +71,14 @@ class Solution:
     # ------------------------------------------------------------------ #
     @property
     def mask(self) -> np.ndarray:
-        """Boolean selection mask (freshly materialised NumPy view)."""
-        return np.frombuffer(bytes(self.selected), dtype=np.uint8).astype(bool)
+        """Boolean selection mask (freshly materialised NumPy array).
+
+        The comparison materialises a new bool array directly from the
+        ``bytearray`` buffer -- one allocation, no intermediate ``bytes``
+        copy (this is called per round in traced runs and per result in
+        the harness).
+        """
+        return np.frombuffer(self.selected, dtype=np.uint8) != 0
 
     @property
     def utility(self) -> float:

@@ -112,12 +112,16 @@ def _solver(
     config: StormConfig,
     telemetry: NullTelemetry,
     seed: Optional[int] = None,
+    engine: str = "serial",
+    num_workers: int = 4,
 ) -> StochasticExploration:
     se_config = SEConfig(
         num_threads=config.gamma,
         max_iterations=config.max_iterations,
         convergence_window=config.convergence_window,
         seed=config.seed if seed is None else seed,
+        engine=engine,
+        num_workers=num_workers,
     )
     return StochasticExploration(se_config, telemetry=telemetry)
 
@@ -127,6 +131,8 @@ def run_storm(
     events: Optional[Sequence[CommitteeEvent]] = None,
     armed: Optional[Sequence[str]] = None,
     telemetry: NullTelemetry = NULL_TELEMETRY,
+    engine: str = "serial",
+    num_workers: int = 4,
 ) -> StormOutcome:
     """Run one storm against one SE solve and classify the outcome.
 
@@ -134,6 +140,9 @@ def run_storm(
     instance, the event schedule and the solver all derive from
     ``config.seed`` through named streams, so one seed is one storm
     forever — the property the replay / shrink machinery builds on.
+    ``engine="parallel"`` runs the same storm byte-identically across a
+    process pool (probes still fire on the driver at event boundaries);
+    see :mod:`repro.core.engine`.
     """
     armed = tuple(armed) if armed is not None else DEFAULT_ARMED
     instance = build_storm_instance(config)
@@ -141,7 +150,7 @@ def run_storm(
         events = generate_storm(instance, config, RandomStreams(config.seed))
     events = list(events)
 
-    solver = _solver(config, telemetry)
+    solver = _solver(config, telemetry, engine=engine, num_workers=num_workers)
     probe = StormProbe(solver, instance, armed=armed, telemetry=telemetry)
     schedule = DynamicSchedule(events=list(events))
 
@@ -282,8 +291,15 @@ def load_reproducer(path: str) -> Dict:
 def replay_reproducer(
     reproducer: Dict,
     telemetry: NullTelemetry = NULL_TELEMETRY,
+    engine: str = "serial",
+    num_workers: int = 4,
 ) -> StormOutcome:
-    """Re-run a stored reproducer exactly (same seed, same events, same arms)."""
+    """Re-run a stored reproducer exactly (same seed, same events, same arms).
+
+    ``engine`` selects the SE execution engine; the parallel engine is
+    byte-identical to serial, so a reproducer replays to the same outcome
+    on either.
+    """
     config = StormConfig(**reproducer["config"])
     events = [event_from_json(payload) for payload in reproducer["events"]]
     return run_storm(
@@ -291,6 +307,8 @@ def replay_reproducer(
         events=events,
         armed=tuple(reproducer["armed"]),
         telemetry=telemetry,
+        engine=engine,
+        num_workers=num_workers,
     )
 
 
@@ -318,6 +336,8 @@ def run_epoch_storm(
     config: StormConfig,
     armed: Optional[Sequence[str]] = None,
     telemetry: NullTelemetry = NULL_TELEMETRY,
+    engine: str = "serial",
+    num_workers: int = 4,
 ) -> EpochStormOutcome:
     """Drive :class:`MultiEpochScheduler` with a storm inside every epoch.
 
@@ -346,7 +366,9 @@ def run_epoch_storm(
         epoch_config = config.per_epoch(epoch)
         epoch_seed = derive_seed(config.seed, f"storm-epoch-{epoch}")
         events = generate_storm(instance, epoch_config, RandomStreams(epoch_seed))
-        solver = _solver(epoch_config, telemetry, seed=epoch_seed)
+        solver = _solver(
+            epoch_config, telemetry, seed=epoch_seed, engine=engine, num_workers=num_workers
+        )
         probe = StormProbe(solver, instance, armed=armed, telemetry=telemetry)
         result = solver.solve(instance, DynamicSchedule(events=list(events)), probe=probe)
         if "trace-monotone" in armed:

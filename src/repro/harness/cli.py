@@ -5,8 +5,9 @@ Usage::
     mvcom list                  # available experiments
     mvcom fig08                 # run one figure, print its table, write CSV
     mvcom all                   # run every figure (slow)
-    mvcom lint [paths...]       # static analysis (rules MV001-MV007)
+    mvcom lint [paths...]       # static analysis (rules MV001-MV008)
     mvcom solve --trace t.jsonl # one traced SE solve + final PBFT round
+    mvcom solve --engine parallel --workers 4   # byte-identical pool run
     mvcom trace summary t.jsonl # render a text report from a trace file
     mvcom storm --seed 13       # churn-storm fault injection (repro.faultinject)
     mvcom storm --replay r.json # replay a shrunk storm reproducer
@@ -83,9 +84,14 @@ def run_traced_solve(args) -> int:
         trace_path=args.trace,
         profile=args.profile,
         top_n=args.top,
+        engine=args.engine,
+        num_workers=args.workers,
     )
     result = run.result
-    print(f"solve: {args.committees} committees, Gamma={args.gamma}, seed={args.seed}")
+    print(
+        f"solve: {args.committees} committees, Gamma={args.gamma}, "
+        f"seed={args.seed}, engine={args.engine}"
+    )
     print(
         f"  utility={result.best_utility:.2f}  iterations={result.iterations}"
         f"  converged={result.converged}"
@@ -139,6 +145,14 @@ def main(argv=None) -> int:
                         help="solve: workload + solver seed (default 0)")
     parser.add_argument("--iterations", type=int, default=2000,
                         help="solve: SE iteration budget (default 2000)")
+    parser.add_argument("--engine", choices=["serial", "parallel", "vectorized"],
+                        default="serial",
+                        help="solve: SE execution engine (default serial; "
+                        "parallel is byte-identical across a process pool, "
+                        "vectorized is a batched distributional kernel)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="solve: process-pool size for --engine parallel "
+                        "(default 4)")
     parser.add_argument("--top", type=int, default=10,
                         help="solve/trace: rows per summary table (default 10)")
     parser.add_argument("--events", type=int, default=200,

@@ -67,6 +67,8 @@ def traced_solve(
     profile: bool = False,
     top_n: int = 10,
     telemetry: Optional[Telemetry] = None,
+    engine: str = "serial",
+    num_workers: int = 4,
 ) -> TracedRun:
     """Run one fully-traced SE solve plus a final-committee PBFT round.
 
@@ -75,6 +77,11 @@ def traced_solve(
     the stream carries a chain-phase span.  With ``profile=True`` the
     solver call additionally runs under cProfile and its top-``top_n``
     hotspots land in the same stream as a ``profile.hotspots`` event.
+
+    ``engine`` selects the SE execution engine (``serial``, ``parallel``
+    or ``vectorized``; see :mod:`repro.core.engine`) and ``num_workers``
+    sizes the parallel engine's process pool — telemetry and probes keep
+    firing on the driver at segment boundaries for every engine.
     """
     owns_hub = telemetry is None
     if telemetry is None:
@@ -97,6 +104,8 @@ def traced_solve(
             max_iterations=max_iterations,
             convergence_window=convergence_window,
             seed=seed,
+            engine=engine,
+            num_workers=num_workers,
         ),
         telemetry=telemetry,
     )

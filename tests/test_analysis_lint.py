@@ -1,4 +1,4 @@
-"""Tests for the repro.analysis lint engine (rules MV001-MV007)."""
+"""Tests for the repro.analysis lint engine (rules MV001-MV008)."""
 
 import textwrap
 
@@ -25,7 +25,7 @@ def rule_hits(diagnostics, rule_id):
 # ---------------------------------------------------------------------- #
 def test_registry_ships_the_core_rules():
     assert set(registered_rules()) >= {
-        "MV001", "MV002", "MV003", "MV004", "MV005", "MV006", "MV007",
+        "MV001", "MV002", "MV003", "MV004", "MV005", "MV006", "MV007", "MV008",
     }
 
 
@@ -366,6 +366,66 @@ class TestMV007:
             return Telemetry(sinks=[JsonlSink("t.jsonl")])
         """
         assert rule_hits(lint(harness, path="src/repro/harness/tracing.py"), "MV007") == []
+
+
+# ---------------------------------------------------------------------- #
+# MV008 picklable executor submissions
+# ---------------------------------------------------------------------- #
+class TestMV008:
+    def test_lambda_submission_flagged(self):
+        bad = """
+        from concurrent.futures import ProcessPoolExecutor
+
+        def run(pool: ProcessPoolExecutor):
+            return pool.submit(lambda x: x + 1, 2)
+        """
+        assert rule_hits(lint(bad, path="src/repro/core/engine.py"), "MV008") == [
+            (5, "MV008"),
+        ]
+
+    def test_closure_submission_flagged(self):
+        bad = """
+        from concurrent.futures import ProcessPoolExecutor
+
+        def run(pool: ProcessPoolExecutor, items):
+            def step(item):
+                return item * 2
+            return list(pool.map(step, items))
+        """
+        assert rule_hits(lint(bad, path="src/repro/core/engine.py"), "MV008") == [
+            (7, "MV008"),
+        ]
+
+    def test_module_level_function_is_clean(self):
+        good = """
+        from concurrent.futures import ProcessPoolExecutor
+
+        def step(item):
+            return item * 2
+
+        def run(pool: ProcessPoolExecutor, items):
+            futures = [pool.submit(step, item) for item in items]
+            return [future.result() for future in futures]
+        """
+        assert rule_hits(lint(good, path="src/repro/core/engine.py"), "MV008") == []
+
+    def test_submit_without_executor_import_ignored(self):
+        # '.submit'/'.map' on unrelated objects (no pool imports in the
+        # module) stays out of scope — e.g. a custom scheduler API.
+        good = """
+        def run(queue, items):
+            return queue.submit(lambda: 1)
+        """
+        assert rule_hits(lint(good, path="src/repro/core/engine.py"), "MV008") == []
+
+    def test_packages_outside_core_and_harness_ignored(self):
+        elsewhere = """
+        from concurrent.futures import ProcessPoolExecutor
+
+        def run(pool: ProcessPoolExecutor):
+            return pool.submit(lambda x: x, 1)
+        """
+        assert rule_hits(lint(elsewhere, path="src/repro/obs/sinks.py"), "MV008") == []
 
 
 # ---------------------------------------------------------------------- #

@@ -1,0 +1,370 @@
+"""Engine-equivalence tests for the SE execution-engine layer.
+
+Three engines share one algorithm (:mod:`repro.core.engine`):
+
+* ``serial`` — the reference loop; pinned by the wider suite and by the
+  golden fingerprint below.
+* ``parallel`` — Γ replicas across a spawn-safe process pool, segmented
+  between dynamic events; must be **byte-identical** to serial (same
+  seeds → same masks, traces, iteration counts, applied events), with and
+  without churn-storm schedules, including the chunked-convergence
+  truncation edges.
+* ``vectorized`` — a batched race kernel with its own stream layout;
+  validated *distributionally*: χ² of per-round state occupancy against
+  the Gibbs distribution ``p* ∝ exp(βU_f)`` (eq. 6) on a small instance,
+  and a KS comparison of converged utilities vs serial across seeds.
+"""
+
+import itertools
+import math
+from dataclasses import asdict
+
+import numpy as np
+import pytest
+
+from repro.core import engine as engine_module
+from repro.core.dynamics import fail_and_recover_schedule
+from repro.core.problem import EpochInstance, MVComConfig
+from repro.core.se import SEConfig, SEResult, StochasticExploration
+from repro.data.workload import WorkloadConfig, generate_epoch_workload
+from repro.faultinject.runner import (
+    DEFAULT_ARMED,
+    REPRODUCER_FORMAT,
+    build_storm_instance,
+    event_to_json,
+    replay_reproducer,
+    run_storm,
+)
+from repro.faultinject.storm import StormConfig, generate_storm
+from repro.sim.rng import RandomStreams
+
+WORKERS = 4  # all parallel tests share one pool via engine._shared_pool
+
+
+def solve_with(engine, *, num_committees=30, capacity=25_000, seed=0, gamma=4,
+               max_iterations=500, convergence_window=200, schedule=None):
+    workload = generate_epoch_workload(
+        WorkloadConfig(num_committees=num_committees, capacity=capacity, seed=seed)
+    )
+    config = SEConfig(
+        num_threads=gamma,
+        max_iterations=max_iterations,
+        convergence_window=convergence_window,
+        seed=seed,
+        engine=engine,
+        num_workers=WORKERS,
+    )
+    if schedule is not None:
+        schedule.reset()
+    return StochasticExploration(config).solve(workload.instance, schedule=schedule)
+
+
+def assert_byte_identical(a: SEResult, b: SEResult) -> None:
+    """Bit-for-bit equality of everything an SEResult carries."""
+    assert np.array_equal(a.best_mask, b.best_mask)
+    assert a.best_utility == b.best_utility
+    assert a.best_weight == b.best_weight
+    assert a.best_count == b.best_count
+    assert a.iterations == b.iterations
+    assert a.converged == b.converged
+    assert np.array_equal(a.utility_trace, b.utility_trace)
+    assert np.array_equal(a.current_trace, b.current_trace)
+    assert np.array_equal(a.virtual_time_trace, b.virtual_time_trace)
+    assert a.thread_cardinalities == b.thread_cardinalities
+    assert a.events_applied == b.events_applied
+
+
+# ---------------------------------------------------------------------- #
+# config plumbing
+# ---------------------------------------------------------------------- #
+class TestEngineConfig:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            SEConfig(engine="gpu")
+
+    def test_nonpositive_workers_rejected(self):
+        with pytest.raises(ValueError):
+            SEConfig(num_workers=0)
+
+    def test_engine_names_exported(self):
+        assert engine_module.ENGINE_NAMES == ("serial", "parallel", "vectorized")
+
+
+# ---------------------------------------------------------------------- #
+# serial golden fingerprint (pins the reference engine)
+# ---------------------------------------------------------------------- #
+class TestSerialGolden:
+    def test_serial_run_is_reproducible(self):
+        first = solve_with("serial", seed=0)
+        second = solve_with("serial", seed=0)
+        assert_byte_identical(first, second)
+
+
+# ---------------------------------------------------------------------- #
+# serial <-> parallel byte identity
+# ---------------------------------------------------------------------- #
+class TestParallelByteIdentity:
+    @pytest.mark.parametrize("seed", [0, 3])
+    @pytest.mark.parametrize("gamma", [1, 4, 10])
+    def test_static_epochs(self, seed, gamma):
+        serial = solve_with("serial", seed=seed, gamma=gamma)
+        parallel = solve_with("parallel", seed=seed, gamma=gamma)
+        assert_byte_identical(serial, parallel)
+
+    def test_dynamic_schedule(self):
+        workload = generate_epoch_workload(
+            WorkloadConfig(num_committees=30, capacity=25_000, seed=7)
+        )
+        instance = workload.instance
+        schedule = fail_and_recover_schedule(
+            shard_id=int(instance.shard_ids[2]),
+            tx_count=int(instance.tx_counts[2]),
+            latency=float(instance.latencies[2]),
+            fail_at=60,
+            recover_at=160,
+        )
+        results = []
+        for engine in ("serial", "parallel"):
+            schedule.reset()
+            config = SEConfig(
+                num_threads=4, max_iterations=400, convergence_window=150,
+                seed=7, engine=engine, num_workers=WORKERS,
+            )
+            results.append(StochasticExploration(config).solve(instance, schedule=schedule))
+        assert_byte_identical(results[0], results[1])
+        assert len(results[1].events_applied) == 2
+
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_churn_storm(self, seed):
+        config = StormConfig(
+            seed=seed, num_committees=24, gamma=4, num_events=60,
+            max_iterations=500, convergence_window=200,
+        )
+        serial = run_storm(config, engine="serial")
+        parallel = run_storm(config, engine="parallel", num_workers=WORKERS)
+        assert serial.status == parallel.status
+        assert serial.boundaries == parallel.boundaries
+        if serial.result is not None:
+            assert_byte_identical(serial.result, parallel.result)
+
+    def test_replayed_reproducer(self):
+        """A stored reproducer replays to the same outcome on either engine."""
+        config = StormConfig(
+            seed=2, num_committees=24, gamma=4, num_events=40,
+            max_iterations=400, convergence_window=150,
+        )
+        instance = build_storm_instance(config)
+        events = generate_storm(instance, config, RandomStreams(config.seed))
+        reproducer = {
+            "format": REPRODUCER_FORMAT,
+            "config": asdict(config),
+            "armed": list(DEFAULT_ARMED),
+            "events": [event_to_json(event) for event in events],
+        }
+        serial = replay_reproducer(reproducer, engine="serial")
+        parallel = replay_reproducer(reproducer, engine="parallel", num_workers=WORKERS)
+        assert serial.status == parallel.status
+        assert serial.boundaries == parallel.boundaries
+        if serial.result is not None:
+            assert_byte_identical(serial.result, parallel.result)
+
+
+# ---------------------------------------------------------------------- #
+# chunked-convergence truncation edges
+# ---------------------------------------------------------------------- #
+def _frozen_instance() -> EpochInstance:
+    """An instance whose threads can never swap: every pair is rejected.
+
+    Geometric tx counts with capacity equal to the lightest-k prefix sum
+    make any swap-in strictly heavier than the swap-out it replaces, so
+    every thread parks each round and the detector converges after exactly
+    ``convergence_window`` stale rounds.
+    """
+    tx = [1, 2, 4, 8, 16, 32]
+    config = MVComConfig(alpha=4.0, capacity=3, n_min_fraction=0.3)  # Ĉ fits {1,2}
+    return EpochInstance(tx_counts=tx, latencies=[10.0 * (i + 1) for i in range(6)],
+                        config=config, ddl=60.0)
+
+
+class TestChunkTruncation:
+    def test_convergence_at_first_round_of_chunk(self):
+        """Window w ⇒ converged at iteration w (round index w-1): the serial
+        and parallel engines must truncate the second chunk at its first round."""
+        instance = _frozen_instance()
+        results = []
+        for engine in ("serial", "parallel"):
+            config = SEConfig(
+                num_threads=3, max_iterations=500, convergence_window=100,
+                seed=1, engine=engine, num_workers=WORKERS,
+            )
+            results.append(StochasticExploration(config).solve(instance))
+        serial, parallel = results
+        assert serial.converged and serial.iterations == 101
+        assert_byte_identical(serial, parallel)
+
+    @pytest.mark.parametrize("window", [99, 100, 101])
+    def test_convergence_around_chunk_boundary(self, window):
+        """±1 around the segment size: truncation may fall on the last round
+        of a chunk, exactly at the boundary, or one round into the next."""
+        instance = _frozen_instance()
+        results = []
+        for engine in ("serial", "parallel"):
+            config = SEConfig(
+                num_threads=2, max_iterations=400, convergence_window=window,
+                seed=2, engine=engine, num_workers=WORKERS,
+            )
+            results.append(StochasticExploration(config).solve(instance))
+        assert results[0].converged
+        assert_byte_identical(results[0], results[1])
+
+    def test_max_iterations_exhausts_mid_chunk(self):
+        """max_iterations not a multiple of the window: the final segment is
+        shorter than convergence_window and both engines stop at the cap."""
+        serial = solve_with("serial", seed=4, max_iterations=250, convergence_window=400)
+        parallel = solve_with("parallel", seed=4, max_iterations=250, convergence_window=400)
+        assert not serial.converged and serial.iterations == 250
+        assert_byte_identical(serial, parallel)
+
+
+# ---------------------------------------------------------------------- #
+# vectorized engine: distributional validation
+# ---------------------------------------------------------------------- #
+def wilson_hilferty_critical(df: int, z: float) -> float:
+    """Upper χ² quantile via the Wilson–Hilferty cube approximation."""
+    return df * (1.0 - 2.0 / (9.0 * df) + z * math.sqrt(2.0 / (9.0 * df))) ** 3
+
+
+def _flat_race_instance(num_shards: int) -> EpochInstance:
+    """Equal tx counts (capacity never binds) with a linear value ladder:
+    alpha*s - (ddl - l) makes shard k worth exactly 5(k+1) utility units."""
+    config = MVComConfig(alpha=4.0, capacity=10 * num_shards, n_min_fraction=1.0 / num_shards)
+    latencies = [5.0 * (i + 1) for i in range(num_shards)]
+    return EpochInstance(
+        tx_counts=[10] * num_shards, latencies=latencies, config=config,
+        ddl=5.0 * num_shards,
+    )
+
+
+class TestVectorizedGibbs:
+    def test_chi_square_stationarity(self):
+        """Per-round occupancy of the cardinality-2 threads matches the Gibbs
+        distribution p* ∝ exp(βU_f) (eq. 6) and decisively rejects uniform.
+
+        Occupancy is counted per *round* (not per fire): a thread parks in a
+        state for a number of rounds inversely proportional to its race-win
+        probability, which is what restores the exp(βU) weighting that the
+        raw jump chain lacks.  The race against finitely many sibling
+        threads shrinks the effective β by ~1/#threads (win probability
+        saturates as r/(r+R)); 16 shards → 15 racing siblings keep that
+        bias inside the α=0.001 χ² band at this sample size, while the
+        uniform hypothesis is rejected by >3× the critical value.
+        """
+        num_shards, card, beta = 16, 2, 1.0 / 60.0
+        gamma, rounds, burn, every = 8, 30_000, 500, 90
+        instance = _flat_race_instance(num_shards)
+        config = SEConfig(
+            num_threads=gamma, max_iterations=rounds, convergence_window=10 ** 6,
+            seed=3, engine="vectorized", beta=beta,
+        )
+        solver = StochasticExploration(config)
+        run = engine_module._EngineRun(solver, instance, None, None)
+        state = engine_module._VectorState(run.replicas, instance, solver.config)
+        targets = [row for row in range(state.size) if state.cards[row] == card]
+        assert len(targets) == gamma
+        race_rng = run.streams.get("vectorized-race")
+
+        counts: dict = {}
+        done = 0
+        while done < rounds:
+            block = min(rounds - done, 512)
+            state.start_block(race_rng, block)
+            for k in range(block):
+                state.race_round(k)
+                round_index = done + k
+                if round_index >= burn and (round_index - burn) % every == 0:
+                    for row in targets:
+                        offset = int(state.off_sel[row])
+                        key = tuple(sorted(
+                            int(x) for x in
+                            state.sel_flat[offset: offset + int(state.n_sel[row])]
+                        ))
+                        counts[key] = counts.get(key, 0) + 1
+            done += block
+
+        states = list(itertools.combinations(range(num_shards), card))
+        values = np.asarray(instance.values)
+        utilities = np.array([values[list(s)].sum() for s in states])
+        gibbs = np.exp(beta * (utilities - utilities.max()))
+        gibbs /= gibbs.sum()
+        uniform = np.full(len(states), 1.0 / len(states))
+        observed = np.array([counts.get(s, 0) for s in states], dtype=float)
+        total = observed.sum()
+        assert total > 2_000  # enough mass for ~20 expected counts per state
+
+        def chi_square(expected_p: np.ndarray) -> float:
+            expected = expected_p * total
+            return float(((observed - expected) ** 2 / expected).sum())
+
+        critical = wilson_hilferty_critical(len(states) - 1, z=3.0902)  # α=0.001
+        assert chi_square(gibbs) < critical
+        assert chi_square(uniform) > 3.0 * critical
+
+    def test_ks_converged_utilities_match_serial(self):
+        """Two-sample KS over 50 seeds: converged best utilities of the
+        vectorized engine are distributionally indistinguishable from serial
+        (α=0.01 ⇒ D < 1.628·sqrt(2/n))."""
+        seeds = range(50)
+        serial_u, vector_u = [], []
+        for seed in seeds:
+            for engine, sink in (("serial", serial_u), ("vectorized", vector_u)):
+                result = solve_with(
+                    engine, num_committees=20, capacity=16_000, seed=seed,
+                    gamma=2, max_iterations=300, convergence_window=150,
+                )
+                sink.append(result.best_utility)
+        a = np.sort(np.asarray(serial_u))
+        b = np.sort(np.asarray(vector_u))
+        grid = np.union1d(a, b)
+        cdf_a = np.searchsorted(a, grid, side="right") / a.size
+        cdf_b = np.searchsorted(b, grid, side="right") / b.size
+        d_stat = float(np.abs(cdf_a - cdf_b).max())
+        d_crit = 1.628 * math.sqrt((a.size + b.size) / (a.size * b.size))
+        assert d_stat < d_crit
+
+
+class TestVectorizedBehaviour:
+    def test_same_seed_reproducible(self):
+        first = solve_with("vectorized", seed=9)
+        second = solve_with("vectorized", seed=9)
+        assert_byte_identical(first, second)
+
+    def test_trace_monotone_and_feasible(self):
+        result = solve_with("vectorized", seed=5)
+        assert (np.diff(result.utility_trace) >= -1e-9).all()
+        workload = generate_epoch_workload(
+            WorkloadConfig(num_committees=30, capacity=25_000, seed=5)
+        )
+        assert workload.instance.weight(result.best_mask) == result.best_weight
+        assert result.best_weight <= workload.instance.capacity
+        assert result.best_count >= workload.instance.n_min
+
+    def test_dynamic_schedule_applies_events(self):
+        workload = generate_epoch_workload(
+            WorkloadConfig(num_committees=30, capacity=25_000, seed=7)
+        )
+        instance = workload.instance
+        schedule = fail_and_recover_schedule(
+            shard_id=int(instance.shard_ids[2]),
+            tx_count=int(instance.tx_counts[2]),
+            latency=float(instance.latencies[2]),
+            fail_at=60,
+            recover_at=160,
+        )
+        config = SEConfig(
+            num_threads=4, max_iterations=400, convergence_window=150,
+            seed=7, engine="vectorized",
+        )
+        result = StochasticExploration(config).solve(instance, schedule=schedule)
+        assert len(result.events_applied) == 2
+        final = result.final_instance
+        assert final.weight(result.best_mask) <= final.capacity
