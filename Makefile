@@ -8,7 +8,7 @@ install:
 test:
 	pytest tests/
 
-# Determinism & contract linter (rules MV001-MV008); non-zero on findings.
+# Determinism & contract linter (rules MV001-MV009); non-zero on findings.
 lint:
 	PYTHONPATH=src python -m repro.analysis src/
 

@@ -3,7 +3,7 @@
 Two halves, one goal — machine-checked determinism and constraint safety:
 
 * :mod:`repro.analysis.engine` + :mod:`repro.analysis.rules` — an AST lint
-  pass (rules MV001-MV008) enforcing the named-RNG-stream discipline, the
+  pass (rules MV001-MV009) enforcing the named-RNG-stream discipline, the
   no-wall-clock rule and the paper-contract documentation convention.
   Run it as ``python -m repro.analysis src/`` or ``mvcom lint src/``.
 * :mod:`repro.analysis.contracts` — opt-in runtime assertions

@@ -16,7 +16,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Run the MV00x rules over ``paths``; exit 1 when errors are found."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="MVCom determinism & contract linter (rules MV001-MV008)",
+        description="MVCom determinism & contract linter (rules MV001-MV009)",
     )
     parser.add_argument("paths", nargs="*", default=["src"], help="files or directories to lint")
     parser.add_argument("--config", help="explicit pyproject.toml (default: nearest ancestor)")

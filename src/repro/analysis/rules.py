@@ -27,6 +27,11 @@ Each rule encodes one discipline the MVCom reproduction depends on:
   spawn-context ``ProcessPoolExecutor``, and a lambda or closure passed to
   ``submit``/``map`` pickles fine on fork but dies on spawn — exactly the
   cross-platform breakage CI cannot see on Linux alone.
+* **MV009** no builtin ``hash()`` inside ``repro/{chain,sim}``: ``str``/
+  ``bytes`` hashing is salted by ``PYTHONHASHSEED``, so any simulated
+  quantity derived from it (addresses, bucket picks, tie-breaks) silently
+  changes between interpreter launches even under a fixed seed.  Derive
+  identifiers from explicit counters or ``hashlib`` digests instead.
 """
 
 from __future__ import annotations
@@ -631,3 +636,54 @@ class PicklableSubmissionRule(Rule):
                 if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
                     nested.add(inner.name)
         return nested
+
+
+# ---------------------------------------------------------------------- #
+# MV009
+# ---------------------------------------------------------------------- #
+#: Packages whose simulated quantities must survive interpreter restarts.
+_HASHSEED_PACKAGES = ("repro/chain/", "repro/sim/")
+
+
+@register_rule
+class BuiltinHashRule(Rule):
+    """MV009: builtin ``hash()`` output depends on PYTHONHASHSEED."""
+
+    rule_id = "MV009"
+    description = (
+        "no builtin hash() inside repro/{chain,sim}: str/bytes hashing is "
+        "salted per interpreter launch, breaking cross-run determinism; use "
+        "explicit counters or hashlib digests"
+    )
+
+    def check(self, tree: ast.AST, context: FileContext) -> Iterator[Diagnostic]:
+        if not context.in_package(*_HASHSEED_PACKAGES):
+            return
+        shadowed = self._local_definitions(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name) and node.func.id == "hash" and "hash" not in shadowed:
+                yield self.diagnostic(
+                    context,
+                    node,
+                    "builtin hash() is salted by PYTHONHASHSEED and changes "
+                    "between interpreter launches; derive the value from an "
+                    "explicit counter or a hashlib digest",
+                )
+
+    @staticmethod
+    def _local_definitions(tree: ast.AST) -> Set[str]:
+        """Module-level names that shadow builtins (defs, imports, assigns)."""
+        names: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                names.add(node.name)
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    names.add(alias.asname or alias.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return names

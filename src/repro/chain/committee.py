@@ -7,15 +7,18 @@ its two-phase latency components, and runs its intra-committee PBFT round.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.chain.blocks import ShardBlock
 from repro.chain.node import Node
+from repro.chain.fastpath import _pbft_kernel_batch, run_pbft, view_change_timeout
 from repro.chain.params import ChainParams
-from repro.chain.pbft import run_pbft_round
+from repro.chain.network import Network
+from repro.chain.pbft import PbftRound
 from repro.obs.telemetry import NULL_TELEMETRY, NullTelemetry
+from repro.sim.engine import SimulationEngine
 
 
 @dataclass
@@ -79,7 +82,8 @@ class Committee:
             return None  # this committee stalls and never submits
         if verify_mean_s is None:
             verify_mean_s = calibrated_verify_mean(params)
-        outcome = run_pbft_round(
+        outcome = run_pbft(
+            params.chain_engine,
             members=self.members,
             rng=rng,
             network_params=params.network,
@@ -98,6 +102,129 @@ class Committee:
             consensus_latency=self.consensus_latency,
         )
         return self.shard_block
+
+
+def run_intra_consensus_batch(
+    committees: Sequence[Committee],
+    params: ChainParams,
+    rng: np.random.Generator,
+    verify_mean_s: Optional[float] = None,
+    telemetry: NullTelemetry = NULL_TELEMETRY,
+) -> List[ShardBlock]:
+    """Stage 3 for the ``fastpath`` engine: one batched kernel call.
+
+    Every closed-form-eligible committee (quorum reachable, honest view-0
+    primary, loss-free network) goes through a single ``(K, c, c)``
+    order-statistics kernel call instead of ``K`` per-committee calls;
+    the rest replay under the reference DES afterwards, as do eligible
+    committees whose closed-form commit time reaches the view-change
+    timeout.  Committee-vs-committee draw order differs from the serial
+    per-round loop (batch block first, fallbacks second), which is fine
+    because all rounds draw independently; with a lossy network nothing
+    is batch-drawn, every replay drains its full event queue, and the
+    epoch stays byte-identical to the pure DES.
+
+    Returns the submitted shard blocks in committee order and stamps
+    ``consensus_latency`` / ``shard_block`` on each committee, exactly
+    like per-committee :meth:`Committee.run_intra_consensus` calls.
+    """
+    if verify_mean_s is None:
+        verify_mean_s = calibrated_verify_mean(params)
+    timeout_s = view_change_timeout(params.network, verify_mean_s)
+    lossy = params.network.loss_probability > 0.0
+
+    eligible: List[Committee] = []
+    fallbacks: List[Tuple[Committee, str]] = []
+    for committee in committees:
+        if not committee.can_reach_quorum:
+            continue  # stalls without consuming randomness, like the serial path
+        if committee.size < 4:
+            raise ValueError("PBFT needs at least 4 members (3f+1, f >= 1)")
+        if lossy:
+            fallbacks.append((committee, "lossy-network"))
+        elif not committee.leader.honest:
+            fallbacks.append((committee, "byzantine-primary"))
+        elif committee.honest_count < 2 * ((committee.size - 1) // 3) + 1:
+            fallbacks.append((committee, "no-quorum"))
+        else:
+            eligible.append(committee)
+
+    if eligible:
+        honest = np.array(
+            [[node.honest for node in committee.members] for committee in eligible],
+            dtype=bool,
+        )
+        speeds = np.array(
+            [[node.verify_speed for node in committee.members] for committee in eligible]
+        )
+        commit_times, prepared_primary = _pbft_kernel_batch(
+            honest, speeds, rng, params.network, verify_mean_s
+        )
+        for k, committee in enumerate(eligible):
+            commit_time = float(commit_times[k])
+            if not np.isfinite(commit_time) or commit_time >= timeout_s:
+                fallbacks.append((committee, "view-change-timeout"))
+                continue
+            committee.consensus_latency = commit_time
+            committee.shard_block = ShardBlock(
+                committee_id=committee.committee_id,
+                epoch=committee.epoch,
+                tx_count=committee.shard_tx_count,
+                formation_latency=committee.formation_latency,
+                consensus_latency=commit_time,
+            )
+            if telemetry.enabled:
+                telemetry.record_span(
+                    "chain.pbft.round",
+                    0.0,
+                    commit_time,
+                    tag=f"epoch{committee.epoch}-committee{committee.committee_id}",
+                    view=0,
+                    members=committee.size,
+                    stages={
+                        "pre-prepare-sent": 0.0,
+                        "prepare-quorum": float(prepared_primary[k]),
+                        "commit-quorum": commit_time,
+                    },
+                )
+
+    for committee, reason in fallbacks:
+        round_tag = f"epoch{committee.epoch}-committee{committee.committee_id}"
+        if telemetry.enabled:
+            telemetry.event("chain.fastpath.fallback", tag=round_tag, reason=reason)
+        engine = SimulationEngine(telemetry=telemetry)
+        pbft = PbftRound(
+            engine=engine,
+            network=Network(engine, params.network, rng),
+            members=committee.members,
+            rng=rng,
+            verify_mean_s=verify_mean_s,
+            round_tag=round_tag,
+            telemetry=telemetry,
+        )
+        outcome = pbft.outcome
+        if lossy:
+            # Byte-identity with the pure DES epoch requires draining the
+            # whole event queue (the residual tail consumes randomness).
+            engine.run()
+        else:
+            # Byzantine-primary / timeout replays are distributional-only,
+            # so stop at the primary's commit instead of processing the
+            # residual event tail (late commit deliveries, stale timers).
+            while not outcome.committed and engine.step():
+                pass
+        if not outcome.committed:
+            continue
+        committee.consensus_latency = outcome.latency
+        committee.shard_block = ShardBlock(
+            committee_id=committee.committee_id,
+            epoch=committee.epoch,
+            tx_count=committee.shard_tx_count,
+            formation_latency=committee.formation_latency,
+            consensus_latency=committee.consensus_latency,
+        )
+
+    return [c.shard_block for c in committees if c.shard_block is not None]
 
 
 def calibrated_verify_mean(params: ChainParams) -> float:

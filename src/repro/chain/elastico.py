@@ -16,13 +16,14 @@ One :meth:`ElasticoSimulation.run_epoch` call executes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.chain.blocks import RootChain, ShardBlock
-from repro.chain.committee import Committee, assign_shard_workload
+from repro.chain.committee import Committee, assign_shard_workload, run_intra_consensus_batch
+from repro.chain.fastpath import formation_kernel
 from repro.chain.final import FinalCommittee, FinalConsensusResult, SchedulerFn, take_everything
 from repro.chain.node import Node, spawn_nodes
 from repro.chain.overlay import run_overlay_configuration
@@ -61,7 +62,10 @@ class ElasticoSimulation:
         mvcom_config: Optional[MVComConfig] = None,
         scheduler: Optional[SchedulerFn] = None,
         telemetry: NullTelemetry = NULL_TELEMETRY,
+        chain_engine: Optional[str] = None,
     ) -> None:
+        if chain_engine is not None and chain_engine != params.chain_engine:
+            params = replace(params, chain_engine=chain_engine)
         self.params = params
         #: Injected hub (rule MV007), threaded into every PBFT round and the
         #: final-consensus stage; each epoch also emits one ``chain.epoch``.
@@ -77,30 +81,55 @@ class ElasticoSimulation:
         self.chain = RootChain()
         self.randomness = GENESIS_RANDOMNESS
         self.epoch = 0
+        # Per-deployment lookups, fixed across epochs (nodes never churn
+        # inside one ElasticoSimulation).
+        self._nodes_by_id = {node.node_id: node for node in self.nodes}
+        self._solve_scales = np.array(
+            [params.pow_mean_solve_s / node.hash_power for node in self.nodes]
+        )
+        self._node_id_array = np.array([node.node_id for node in self.nodes])
 
     # ------------------------------------------------------------------ #
     def form_committees(self, rng: np.random.Generator) -> List[Committee]:
-        """Stages 1-2: PoW election + overlay configuration."""
+        """Stages 1-2: PoW election + overlay configuration.
+
+        The ``fastpath`` engine runs the vectorized formation kernel,
+        which consumes the RNG stream identically to the reference path
+        and produces byte-identical committees.
+        """
         params = self.params
-        solutions = run_pow_election(
-            nodes=self.nodes,
-            num_committees=params.num_committees,
-            mean_solve_s=params.pow_mean_solve_s,
-            epoch_randomness=self.randomness,
-            rng=rng,
-        )
-        fills = committee_fill_times(solutions, params.num_committees, params.committee_size)
-        members = committee_members(solutions, params.num_committees, params.committee_size)
-        overlay = run_overlay_configuration(
-            solutions=solutions,
-            members=members,
-            registration_rate=params.identity_registration_rate,
-            rng=rng,
-        )
-        nodes_by_id = {node.node_id: node for node in self.nodes}
+        if params.chain_engine == "fastpath":
+            fills, members, overlay_times = formation_kernel(
+                nodes=self.nodes,
+                num_committees=params.num_committees,
+                committee_size=params.committee_size,
+                mean_solve_s=params.pow_mean_solve_s,
+                epoch_randomness=self.randomness,
+                registration_rate=params.identity_registration_rate,
+                rng=rng,
+                solve_scales=self._solve_scales,
+                node_ids=self._node_id_array,
+            )
+        else:
+            solutions = run_pow_election(
+                nodes=self.nodes,
+                num_committees=params.num_committees,
+                mean_solve_s=params.pow_mean_solve_s,
+                epoch_randomness=self.randomness,
+                rng=rng,
+            )
+            fills = committee_fill_times(solutions, params.num_committees, params.committee_size)
+            members = committee_members(solutions, params.num_committees, params.committee_size)
+            overlay_times = run_overlay_configuration(
+                solutions=solutions,
+                members=members,
+                registration_rate=params.identity_registration_rate,
+                rng=rng,
+            ).committee_overlay_time
+        nodes_by_id = self._nodes_by_id
         committees = []
         for committee_id, node_ids in sorted(members.items()):
-            formation = max(fills[committee_id], overlay.committee_overlay_time[committee_id])
+            formation = max(fills[committee_id], overlay_times[committee_id])
             committees.append(
                 Committee(
                     committee_id=committee_id,
@@ -140,13 +169,20 @@ class ElasticoSimulation:
         assign_shard_workload(committees, shard_tx_counts)
 
         # Stage 3: every member committee (all but the final one) runs PBFT.
+        # The fastpath engine batches all eligible committees into one
+        # vectorized kernel call (see run_intra_consensus_batch).
         member_committees = committees[:-1] if len(committees) > 1 else committees
         final_seat = committees[-1]
-        shard_blocks = []
-        for committee in member_committees:
-            block = committee.run_intra_consensus(self.params, rng, telemetry=self.telemetry)
-            if block is not None:
-                shard_blocks.append(block)
+        if self.params.chain_engine == "fastpath":
+            shard_blocks = run_intra_consensus_batch(
+                member_committees, self.params, rng, telemetry=self.telemetry
+            )
+        else:
+            shard_blocks = []
+            for committee in member_committees:
+                block = committee.run_intra_consensus(self.params, rng, telemetry=self.telemetry)
+                if block is not None:
+                    shard_blocks.append(block)
 
         # Stage 4: final consensus with the configured scheduler.
         final_committee = FinalCommittee(

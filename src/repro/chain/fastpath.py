@@ -1,0 +1,384 @@
+"""Closed-form fast path for the chain substrate.
+
+The DES in :mod:`repro.chain.pbft` / :mod:`repro.chain.network` /
+:mod:`repro.sim.engine` is the *reference executable spec*: every
+protocol message is a scheduled callback, which is faithful but costs
+O(c^2) Python lambdas per PBFT stage.  This module computes the same
+round latency in closed form with numpy order statistics, in the same
+reference-vs-optimized discipline as :mod:`repro.core.engine` (the DES
+stays ground truth; the fast path is validated distributionally with
+per-size KS tests in ``tests/test_chain_fastpath.py``).
+
+**PBFT kernel.**  With an honest view-0 primary, a loss-free network and
+no view change, the DES round is a deterministic function of its random
+inputs, so the whole event cascade collapses into matrix algebra:
+
+* NIC serialisation is a *rank* matrix ``D[i, r] = pos(i, r) / bandwidth``
+  where ``pos`` is recipient ``r``'s position in sender ``i``'s broadcast
+  (member order, sender skipped);
+* pre-prepare arrival at replica ``r`` is ``D[0, r] + Lognormal``;
+* prepare votes land at ``B[i] + D[i, r] + Lognormal`` (``B`` = send time
+  deferred by the sender's busy NIC), own votes at their send events, and
+  a replica is *prepared* at the first vote event at or after
+  ``max(pre-prepare arrival, 2f-th smallest vote)``;
+* commit votes repeat the pattern and the round commits at the primary's
+  ``(2f+1)``-th smallest commit-vote time -- order statistics instead of
+  event scheduling.
+
+The closed form is *invalid* (returns ``None`` -> caller falls back to
+the DES) when the view-0 primary is Byzantine, the honest count cannot
+reach quorum, ``loss_probability > 0``, or the computed commit time
+reaches the view-change timeout (the DES would fire the timer first and
+change views).  The first three checks happen before any RNG draw, so a
+fallback round consumes the stream from exactly the same position as a
+pure DES run and stays byte-identical; the timeout fallback necessarily
+happens after the kernel's draws and is only distributionally faithful.
+
+**Batched rounds.**  All committees of an epoch share one sequential RNG
+stream, so :func:`repro.chain.committee.run_intra_consensus_batch` stacks
+every closed-form-eligible committee into a single ``(K, c, c)`` kernel
+call (:func:`_pbft_kernel_batch`) instead of ``K`` small-matrix calls --
+the per-call numpy dispatch overhead dominates at ``c = 8``.  The batch
+draws its random block first and replays the ineligible committees under
+the DES afterwards; committee-vs-committee draw *order* therefore differs
+from the one-round-at-a-time path, which is immaterial because the draws
+are independent (the per-size KS tests cover both entry points).  With a
+lossy network nothing is drawn by the kernel at all, so a fully-fallback
+epoch stays byte-identical to the pure DES epoch.
+
+**Formation kernel.**  Stages 1-2 (PoW election + overlay configuration)
+contain no event interleaving at all, so their vectorization is
+*byte-identical* to the DES path: the same ``rng.exponential`` block
+draw for solve times, grouped order statistics for fill times and
+membership, a prefix-maximum recurrence for the serial registration
+queue, and one gossip block draw in committee-index order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.chain.node import Node
+from repro.chain.params import NetworkParams
+from repro.chain.pbft import PbftOutcome, run_pbft_round
+from repro.chain.pow import _committee_of
+from repro.obs.telemetry import NULL_TELEMETRY, NullTelemetry
+
+#: NIC rank geometry per (committee size, 1/bandwidth) -- identical for
+#: every round at a given configuration, so computing it per call would
+#: be pure numpy dispatch overhead.  A handful of keys ever exist.
+_NIC_GEOMETRY: Dict[Tuple[int, float], Tuple[np.ndarray, np.ndarray, float]] = {}
+
+
+def _nic_geometry(c: int, inv_bw: float) -> Tuple[np.ndarray, np.ndarray, float]:
+    """``(nic, nic_free0, burst_s)`` for a ``c``-member committee.
+
+    ``nic[i, r]`` is recipient ``r``'s NIC-serialisation delay in sender
+    ``i``'s broadcast burst (member order, sender skipped); ``nic_free0``
+    is each sender's NIC-busy horizon after the pre-prepare (only the
+    primary's is non-zero); ``burst_s`` is one full broadcast burst.
+    """
+    key = (c, inv_bw)
+    cached = _NIC_GEOMETRY.get(key)
+    if cached is None:
+        idx = np.arange(c)
+        rank = np.where(idx[None, :] > idx[:, None], idx[None, :], idx[None, :] + 1)
+        np.fill_diagonal(rank, 0)
+        burst_s = (c - 1) * inv_bw
+        nic_free0 = np.zeros(c)
+        nic_free0[0] = burst_s
+        cached = (rank * inv_bw, nic_free0, burst_s)
+        _NIC_GEOMETRY[key] = cached
+    return cached
+
+
+def _pbft_kernel_batch(
+    honest: np.ndarray,
+    speeds: np.ndarray,
+    rng: np.random.Generator,
+    network_params: NetworkParams,
+    verify_mean_s: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The order-statistics kernel over a ``(K, c)`` committee stack.
+
+    Returns ``(commit_time, prepared_primary)`` -- each shape ``(K,)`` --
+    for ``K`` independent loss-free honest-primary rounds.  The caller is
+    responsible for the pre-draw validity checks and for the post-draw
+    view-change-timeout fallback.  With ``K = 1`` the draws consume the
+    stream exactly like the historical one-round kernel.
+    """
+    num_rounds, c = honest.shape
+    f = (c - 1) // 3
+    nic, nic_free0, burst_s = _nic_geometry(c, 1.0 / network_params.bandwidth_msgs_per_s)
+    mu = float(np.log(network_params.base_delay))
+    sigma = network_params.jitter_sigma
+    idx = np.arange(c)
+
+    # Random inputs (block-drawn; the DES draws per event, so the fast
+    # path is distributionally -- not byte -- equivalent here).
+    verify1 = rng.exponential(verify_mean_s / speeds)
+    verify2 = rng.exponential(verify_mean_s / speeds)
+    lag_pre = rng.lognormal(mu, sigma, size=(num_rounds, c))
+    lag1 = rng.lognormal(mu, sigma, size=(num_rounds, c, c))
+    lag2 = rng.lognormal(mu, sigma, size=(num_rounds, c, c))
+
+    # Pre-prepare arrivals (the primary pre-prepares itself at t=0).
+    arrival = nic[0][None, :] + lag_pre
+    arrival[:, 0] = 0.0
+
+    # Prepare votes: sent after one verify delay; the primary's NIC is
+    # still draining the pre-prepare burst.
+    prep_send = arrival + verify1
+    depart1 = np.maximum(prep_send, nic_free0[None, :])
+    votes1 = depart1[:, :, None] + nic[None, :, :] + lag1
+    votes1[:, idx, idx] = prep_send
+    votes1[~honest] = np.inf
+    # Prepared at the first vote event >= max(pre-prepare arrival, 2f-th
+    # smallest vote) -- votes can land before the pre-prepare and only
+    # count once the replica is pre-prepared.
+    two_f = np.sort(votes1, axis=1)[:, 2 * f - 1, :]
+    threshold = np.maximum(arrival, two_f)
+    prepared = np.min(np.where(votes1 >= threshold[:, None, :], votes1, np.inf), axis=1)
+
+    # Commit votes: one more verify delay.  A replica can become prepared
+    # from *others'* votes while its own prepare verify is still running,
+    # so its commit burst may hit the NIC before its prepare burst --
+    # burst order on the NIC is the event order of the send calls.  (The
+    # late prepare burst then departs up to (c-1)/bandwidth later, which
+    # we do not feed back into the prepare quorums above: the window is
+    # measure-(c-1)/bandwidth and sub-millisecond at default bandwidth,
+    # far below KS resolution; the DES stays the reference for it.)
+    commit_send = prepared + verify2
+    commit_first = commit_send < prep_send
+    depart2 = np.where(
+        commit_first,
+        np.maximum(commit_send, nic_free0[None, :]),
+        np.maximum(commit_send, depart1 + burst_s),
+    )
+    votes2 = depart2[:, :, None] + nic[None, :, :] + lag2
+    votes2[:, idx, idx] = commit_send
+    votes2[~honest] = np.inf
+    # Commit quorum has no pre-prepare gate in the spec: (2f+1)-th vote.
+    committed = np.sort(votes2, axis=1)[:, 2 * f, :]
+    return committed[:, 0], prepared[:, 0]
+
+
+def view_change_timeout(network_params: NetworkParams, verify_mean_s: float) -> float:
+    """PbftRound's adaptive view-change timeout (must match it exactly)."""
+    return 8.0 * verify_mean_s + 20.0 * network_params.base_delay
+
+
+def _closed_form_pbft(
+    members: Sequence[Node],
+    rng: np.random.Generator,
+    network_params: NetworkParams,
+    verify_mean_s: float,
+    round_tag: str,
+    view_change_timeout_s: Optional[float],
+    telemetry: NullTelemetry,
+) -> Tuple[Optional[PbftOutcome], str]:
+    """The order-statistics kernel; returns ``(outcome, fallback_reason)``.
+
+    ``outcome`` is ``None`` when the closed form does not apply and the
+    caller must run the reference DES; ``fallback_reason`` says why.
+    """
+    c = len(members)
+    if c < 4:
+        raise ValueError("PBFT needs at least 4 members (3f+1, f >= 1)")
+    f = (c - 1) // 3
+    if view_change_timeout_s is None:
+        view_change_timeout_s = view_change_timeout(network_params, verify_mean_s)
+    # Validity checks that consume no randomness -- a fallback from here
+    # replays the DES from the identical stream position.
+    if network_params.loss_probability > 0.0:
+        return None, "lossy-network"
+    honest = np.array([node.honest for node in members], dtype=bool)
+    if not honest[0]:
+        return None, "byzantine-primary"
+    if int(honest.sum()) < 2 * f + 1:
+        return None, "no-quorum"
+
+    speeds = np.array([node.verify_speed for node in members])
+    commit_times, prepared_primary = _pbft_kernel_batch(
+        honest[None, :], speeds[None, :], rng, network_params, verify_mean_s
+    )
+    commit_time = float(commit_times[0])
+
+    if not np.isfinite(commit_time) or commit_time >= view_change_timeout_s:
+        # The DES would fire the view-change timer before this commit;
+        # the cascade after that is not closed-form.  (Kernel draws are
+        # already consumed, so this fallback is distributional only.)
+        return None, "view-change-timeout"
+
+    outcome = PbftOutcome(
+        committed=True,
+        start_time=0.0,
+        commit_time=commit_time,
+        stage_times={
+            "pre-prepare-sent": 0.0,
+            "prepare-quorum": float(prepared_primary[0]),
+            "commit-quorum": commit_time,
+        },
+    )
+    if telemetry.enabled:
+        telemetry.record_span(
+            "chain.pbft.round",
+            0.0,
+            commit_time,
+            tag=round_tag,
+            view=0,
+            members=c,
+            stages=dict(outcome.stage_times),
+        )
+    return outcome, ""
+
+
+def pbft_round_closed_form(
+    members: Sequence[Node],
+    rng: np.random.Generator,
+    network_params: NetworkParams,
+    verify_mean_s: float,
+    round_tag: str = "round-0",
+    view_change_timeout_s: Optional[float] = None,
+    telemetry: NullTelemetry = NULL_TELEMETRY,
+) -> Optional[PbftOutcome]:
+    """Closed-form round latency, or ``None`` when the DES must run."""
+    outcome, _ = _closed_form_pbft(
+        members, rng, network_params, verify_mean_s, round_tag,
+        view_change_timeout_s, telemetry,
+    )
+    return outcome
+
+
+def run_pbft_round_fast(
+    members: Sequence[Node],
+    rng: np.random.Generator,
+    network_params: NetworkParams,
+    verify_mean_s: float,
+    round_tag: str = "round-0",
+    telemetry: NullTelemetry = NULL_TELEMETRY,
+) -> PbftOutcome:
+    """One PBFT round on the fast path, DES fallback when invalid."""
+    outcome, reason = _closed_form_pbft(
+        members, rng, network_params, verify_mean_s, round_tag, None, telemetry
+    )
+    if outcome is not None:
+        return outcome
+    if telemetry.enabled:
+        telemetry.event("chain.fastpath.fallback", tag=round_tag, reason=reason)
+    return run_pbft_round(
+        members=members,
+        rng=rng,
+        network_params=network_params,
+        verify_mean_s=verify_mean_s,
+        round_tag=round_tag,
+        telemetry=telemetry,
+    )
+
+
+def run_pbft(
+    chain_engine: str,
+    members: Sequence[Node],
+    rng: np.random.Generator,
+    network_params: NetworkParams,
+    verify_mean_s: float,
+    round_tag: str = "round-0",
+    telemetry: NullTelemetry = NULL_TELEMETRY,
+) -> PbftOutcome:
+    """Engine dispatch for one PBFT round (``"des"`` | ``"fastpath"``)."""
+    runner = run_pbft_round_fast if chain_engine == "fastpath" else run_pbft_round
+    return runner(
+        members=members,
+        rng=rng,
+        network_params=network_params,
+        verify_mean_s=verify_mean_s,
+        round_tag=round_tag,
+        telemetry=telemetry,
+    )
+
+
+def formation_kernel(
+    nodes: Sequence[Node],
+    num_committees: int,
+    committee_size: int,
+    mean_solve_s: float,
+    epoch_randomness: str,
+    registration_rate: float,
+    rng: np.random.Generator,
+    gossip_delay_mean: float = 4.0,
+    solve_scales: Optional[np.ndarray] = None,
+    node_ids: Optional[np.ndarray] = None,
+) -> Tuple[Dict[int, float], Dict[int, List[int]], Dict[int, float]]:
+    """Vectorized stages 1-2, byte-identical to the reference path.
+
+    Returns ``(fill_times, members, overlay_times)`` matching
+    :func:`repro.chain.pow.committee_fill_times`,
+    :func:`repro.chain.pow.committee_members` and
+    :func:`repro.chain.overlay.run_overlay_configuration` exactly: the
+    solve-time block draw and the gossip block draw consume the RNG
+    stream in the same order as the scalar reference loops.
+
+    ``solve_scales`` / ``node_ids`` are optional precomputed per-node
+    arrays (``mean_solve_s / hash_power`` and ids, in ``nodes`` order) --
+    they are fixed for the lifetime of a deployment, so multi-epoch
+    callers cache them instead of re-reading node attributes per epoch.
+    """
+    if num_committees <= 0:
+        raise ValueError("num_committees must be positive")
+    if mean_solve_s <= 0:
+        raise ValueError("mean_solve_s must be positive")
+    if registration_rate <= 0:
+        raise ValueError("registration_rate must be positive")
+
+    scales = (
+        np.array([mean_solve_s / node.hash_power for node in nodes])
+        if solve_scales is None
+        else solve_scales
+    )
+    times = rng.exponential(scales)
+    if node_ids is None:
+        node_ids = np.array([node.node_id for node in nodes])
+    assigned = np.array(
+        [_committee_of(int(nid), epoch_randomness, num_committees) for nid in node_ids]
+    )
+
+    # Directory arrival order (stable, like the reference's list sort).
+    order = np.argsort(times, kind="stable")
+    t_sorted = times[order]
+    ids_sorted = node_ids[order]
+    comm_sorted = assigned[order]
+
+    # Serial registration queue: free_k = max(free_{k-1}, t_k) + s, which
+    # unrolls to a prefix maximum.
+    service = 1.0 / registration_rate
+    k = np.arange(t_sorted.size)
+    ready_sorted = np.maximum.accumulate(t_sorted - k * service) + (k + 1) * service
+
+    # Group arrivals by committee, keeping arrival order inside groups.
+    group_order = np.argsort(comm_sorted, kind="stable")
+    grouped = comm_sorted[group_order]
+    starts = np.flatnonzero(np.r_[True, grouped[1:] != grouped[:-1]])
+    ends = np.r_[starts[1:], grouped.size]
+
+    fills: Dict[int, float] = {}
+    members: Dict[int, List[int]] = {}
+    last_ready: List[float] = []
+    for start, end in zip(starts, ends):
+        if end - start < committee_size:
+            continue  # this committee never fills this epoch
+        rows = group_order[start : start + committee_size]
+        committee_index = int(grouped[start])
+        fills[committee_index] = float(t_sorted[rows[-1]])
+        members[committee_index] = [int(nid) for nid in ids_sorted[rows]]
+        last_ready.append(float(ready_sorted[rows].max()))
+
+    # One gossip delay per filled committee, in committee-index order --
+    # grouped indices are already ascending, matching the reference dict.
+    gossip = rng.exponential(gossip_delay_mean, size=len(members))
+    overlay = {
+        committee_index: last + float(g)
+        for (committee_index, last), g in zip(zip(members.keys(), last_ready), gossip)
+    }
+    return fills, members, overlay

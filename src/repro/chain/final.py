@@ -17,8 +17,8 @@ import numpy as np
 
 from repro.chain.blocks import FinalBlock, RootChain, ShardBlock
 from repro.chain.committee import Committee, calibrated_verify_mean
+from repro.chain.fastpath import run_pbft
 from repro.chain.params import ChainParams
-from repro.chain.pbft import run_pbft_round
 from repro.core.problem import EpochInstance, MVComConfig, build_instance
 from repro.obs.telemetry import NULL_TELEMETRY, NullTelemetry
 
@@ -95,7 +95,8 @@ class FinalCommittee:
         if not instance.is_capacity_feasible(mask):
             raise ValueError("scheduler violated the final-block capacity")
 
-        outcome = run_pbft_round(
+        outcome = run_pbft(
+            self.params.chain_engine,
             members=self.committee.members,
             rng=rng,
             network_params=self.params.network,

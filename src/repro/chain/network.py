@@ -30,13 +30,23 @@ class Message:
 
 
 class Network:
-    """Delivers messages between node ids with stochastic delays."""
+    """Delivers messages between node ids with stochastic delays.
+
+    ``buffered=True`` (the default) lets :meth:`broadcast` block-draw the
+    propagation delays of a whole burst up front instead of one
+    ``rng.lognormal`` call per message.  numpy's ``Generator.lognormal``
+    consumes the bit stream identically for ``size=k`` and ``k`` scalar
+    draws, and a burst is synchronous (no other draw from the shared
+    stream can interleave between prefill and the last send), so results
+    stay byte-identical to the unbuffered path.
+    """
 
     def __init__(
         self,
         engine: SimulationEngine,
         params: NetworkParams,
         rng: np.random.Generator,
+        buffered: bool = True,
     ) -> None:
         self.engine = engine
         self.params = params
@@ -46,6 +56,12 @@ class Network:
         self._messages_dropped = 0
         #: virtual time at which each sender's NIC is next free
         self._send_free_at: Dict[int, float] = {}
+        self._inv_bandwidth = 1.0 / params.bandwidth_msgs_per_s
+        self._log_base_delay = float(np.log(params.base_delay))
+        self._buffered = buffered
+        self._delay_buffer: np.ndarray = np.empty(0)
+        self._delay_pos = 0
+        self._next_addr = 0
 
     @property
     def messages_sent(self) -> int:
@@ -63,10 +79,54 @@ class Network:
             raise ValueError(f"node {node_id} already registered")
         self._handlers[node_id] = handler
 
+    def claim_address(self) -> int:
+        """Allocate the next free network address.
+
+        Addresses are handed out sequentially per network instance, so
+        they are deterministic, collision-free, and independent of
+        PYTHONHASHSEED (unlike the builtin ``hash()``-derived scheme this
+        replaced; see lint rule MV009).
+        """
+        addr = self._next_addr
+        self._next_addr += 1
+        return addr
+
     def propagation_delay(self) -> float:
-        """One-way propagation delay sample."""
-        mu = np.log(self.params.base_delay)
-        return float(self.rng.lognormal(mean=mu, sigma=self.params.jitter_sigma))
+        """One-way propagation delay sample (buffer-aware)."""
+        if self._delay_pos < self._delay_buffer.size:
+            value = self._delay_buffer[self._delay_pos]
+            self._delay_pos += 1
+            return float(value)
+        return float(
+            self.rng.lognormal(mean=self._log_base_delay, sigma=self.params.jitter_sigma)
+        )
+
+    def prefill_delays(self, count: int) -> None:
+        """Block-draw the next ``count`` propagation delays into the buffer.
+
+        Only safe when every buffered delay is consumed before any *other*
+        draw from the shared ``rng`` — i.e. within one synchronous
+        broadcast burst.  With ``loss_probability > 0`` each send also
+        draws a uniform before its delay, which would interleave, so the
+        prefill is disabled and sends fall back to scalar draws.
+        """
+        if not self._buffered or count <= 0 or self.params.loss_probability > 0.0:
+            return
+        remaining = self._delay_buffer.size - self._delay_pos
+        if remaining >= count:
+            return
+        draw = self.rng.lognormal(
+            mean=self._log_base_delay,
+            sigma=self.params.jitter_sigma,
+            size=count - remaining,
+        )
+        if remaining > 0:
+            self._delay_buffer = np.concatenate(
+                [self._delay_buffer[self._delay_pos :], draw]
+            )
+        else:
+            self._delay_buffer = draw
+        self._delay_pos = 0
 
     def send(self, sender: int, recipient: int, kind: str, payload: object = None) -> None:
         """Queue one message for delivery (may be dropped by failure injection)."""
@@ -79,7 +139,7 @@ class Network:
         now = self.engine.now
         # Serialise through the sender's NIC.
         nic_free = max(self._send_free_at.get(sender, now), now)
-        transmit_done = nic_free + 1.0 / self.params.bandwidth_msgs_per_s
+        transmit_done = nic_free + self._inv_bandwidth
         self._send_free_at[sender] = transmit_done
         deliver_at = transmit_done + self.propagation_delay()
         message = Message(sender=sender, recipient=recipient, kind=kind, payload=payload, sent_at=now)
@@ -87,6 +147,7 @@ class Network:
 
     def broadcast(self, sender: int, recipients: Iterable[int], kind: str, payload: object = None) -> None:
         """Send one message to every recipient (serialised at the sender)."""
-        for recipient in recipients:
-            if recipient != sender:
-                self.send(sender, recipient, kind, payload)
+        targets = [recipient for recipient in recipients if recipient != sender]
+        self.prefill_delays(len(targets))
+        for recipient in targets:
+            self.send(sender, recipient, kind, payload)

@@ -12,6 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+#: chain substrate execution engines (mirrors ``repro.core.engine.ENGINE_NAMES``)
+CHAIN_ENGINE_NAMES = ("des", "fastpath")
+
 
 @dataclass(frozen=True)
 class NetworkParams:
@@ -60,6 +63,13 @@ class ChainParams:
         latency grow linearly with network size in Fig. 2a.
     byzantine_fraction:
         Fraction of Byzantine nodes (must stay < 1/3 for PBFT liveness).
+    chain_engine:
+        Execution engine for the chain substrate: ``"des"`` runs the
+        reference discrete-event simulation; ``"fastpath"`` computes round
+        latencies in closed form via :mod:`repro.chain.fastpath` (numpy
+        order statistics), falling back to the DES per committee whenever
+        the closed form is invalid (Byzantine primary, lossy network,
+        view-change possible).
     """
 
     num_nodes: int = 400
@@ -70,8 +80,14 @@ class ChainParams:
     byzantine_fraction: float = 0.1
     network: NetworkParams = NetworkParams()
     seed: int = 0
+    chain_engine: str = "des"
 
     def __post_init__(self) -> None:
+        if self.chain_engine not in CHAIN_ENGINE_NAMES:
+            raise ValueError(
+                f"unknown chain_engine {self.chain_engine!r}; "
+                f"expected one of {CHAIN_ENGINE_NAMES}"
+            )
         if self.num_nodes < self.committee_size:
             raise ValueError("need at least one committee's worth of nodes")
         if self.committee_size < 4:

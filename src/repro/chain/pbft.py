@@ -114,6 +114,11 @@ class PbftRound:
         self._member_ids = [node.node_id for node in self.members]
         self._view_change_votes: set = set()
         self._max_views = len(self.members)  # every member gets one shot at leading
+        #: deterministic per-network address registry (PYTHONHASHSEED-free,
+        #: collision-free; see lint rule MV009)
+        self._addrs: Dict[int, int] = {
+            node.node_id: network.claim_address() for node in self.members
+        }
 
         for node in self.members:
             self.network.register(self._addr(node.node_id), self._make_handler(node.node_id))
@@ -127,8 +132,8 @@ class PbftRound:
 
     # ------------------------------------------------------------------ #
     def _addr(self, node_id: int) -> int:
-        """Network address namespaced by round, so rounds never collide."""
-        return hash((self.round_tag, node_id)) & 0x7FFFFFFF
+        """Network address of a member (registry-allocated, never collides)."""
+        return self._addrs[node_id]
 
     def _verify_delay(self, node: Node) -> float:
         """Transaction/signature verification time at one replica."""
@@ -190,19 +195,26 @@ class PbftRound:
             self._arm_view_timeout()
 
     def _broadcast(self, sender: int, kind: str, payload: object) -> None:
-        for other in self._member_ids:
-            if other != sender:
-                self.network.send(self._addr(sender), self._addr(other), kind, payload)
+        self.network.broadcast(
+            self._addr(sender),
+            [self._addr(other) for other in self._member_ids if other != sender],
+            kind,
+            payload,
+        )
 
     def _send_preprepare(self) -> None:
         if not self.primary.honest:
             return  # Byzantine primary stays silent; the view timeout fires
         self.outcome.stage_times.setdefault("pre-prepare-sent", self.engine.now)
-        for node in self.members:
-            if node.node_id != self.primary.node_id:
-                self.network.send(
-                    self._addr(self.primary.node_id), self._addr(node.node_id), "pre-prepare"
-                )
+        self.network.broadcast(
+            self._addr(self.primary.node_id),
+            [
+                self._addr(node.node_id)
+                for node in self.members
+                if node.node_id != self.primary.node_id
+            ],
+            "pre-prepare",
+        )
         # The primary pre-prepares itself immediately.
         self._on_preprepare(self.primary.node_id)
 
@@ -236,9 +248,7 @@ class PbftRound:
         self.engine.schedule(delay, lambda: self._broadcast_vote(node_id, "prepare"))
 
     def _broadcast_vote(self, node_id: int, kind: str) -> None:
-        for other in self._member_ids:
-            if other != node_id:
-                self.network.send(self._addr(node_id), self._addr(other), kind, payload=node_id)
+        self._broadcast(node_id, kind, payload=node_id)
         # Count the sender's own vote locally.
         state = self._states[node_id]
         if kind == "prepare":

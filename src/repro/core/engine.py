@@ -367,6 +367,16 @@ def _shared_pool(num_workers: int) -> ProcessPoolExecutor:
     return pool
 
 
+def shared_pool(num_workers: int) -> ProcessPoolExecutor:
+    """Public handle on the cached spawn-safe pool.
+
+    The harness's figure-sweep runner (:mod:`repro.harness.parallel`)
+    reuses the same executors as the parallel SE engine, so one ``mvcom``
+    invocation never pays spawn startup twice for the same pool size.
+    """
+    return _shared_pool(num_workers)
+
+
 def shutdown_worker_pools() -> None:
     """Tear down every cached parallel-engine pool (registered atexit)."""
     for pool in _WORKER_POOLS.values():

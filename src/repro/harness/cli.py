@@ -4,8 +4,10 @@ Usage::
 
     mvcom list                  # available experiments
     mvcom fig08                 # run one figure, print its table, write CSV
+    mvcom fig02 --chain-engine fastpath   # closed-form chain substrate
+    mvcom fig10 --parallel --sweep-workers 4  # byte-identical sweep fan-out
     mvcom all                   # run every figure (slow)
-    mvcom lint [paths...]       # static analysis (rules MV001-MV008)
+    mvcom lint [paths...]       # static analysis (rules MV001-MV009)
     mvcom solve --trace t.jsonl # one traced SE solve + final PBFT round
     mvcom solve --engine parallel --workers 4   # byte-identical pool run
     mvcom trace summary t.jsonl # render a text report from a trace file
@@ -20,7 +22,9 @@ import sys
 import time
 from typing import Callable, Dict
 
+from repro.chain.params import CHAIN_ENGINE_NAMES
 from repro.harness import experiments
+from repro.harness.parallel import SWEEP_FIGURES
 from repro.harness.presets import PRESETS, list_presets
 from repro.harness.report import render_table, sample_trace, traces_table, traces_to_rows, write_csv
 from repro.harness.textplot import line_plot
@@ -38,6 +42,22 @@ RUNNERS: Dict[str, Callable[[], dict]] = {
     "theory_mixing": experiments.run_theory_mixing_time,
     "theory_failure": experiments.run_theory_failure,
 }
+
+
+def runner_kwargs(name: str, args) -> dict:
+    """Per-figure keyword arguments derived from the CLI flags.
+
+    Only fig02 understands ``--chain-engine`` and only the sweep figures
+    (fig10-fig14) understand ``--parallel``/``--sweep-workers``; every
+    other runner keeps its zero-argument call.
+    """
+    kwargs: Dict[str, object] = {}
+    if name == "fig02" and args.chain_engine is not None:
+        kwargs["chain_engine"] = args.chain_engine
+    if name in SWEEP_FIGURES:
+        kwargs["parallel"] = args.parallel
+        kwargs["sweep_workers"] = args.sweep_workers
+    return kwargs
 
 
 def print_result(name: str, result: dict) -> None:
@@ -86,6 +106,7 @@ def run_traced_solve(args) -> int:
         top_n=args.top,
         engine=args.engine,
         num_workers=args.workers,
+        chain_engine=args.chain_engine or "des",
     )
     result = run.result
     print(
@@ -153,6 +174,18 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=4,
                         help="solve: process-pool size for --engine parallel "
                         "(default 4)")
+    parser.add_argument("--chain-engine", choices=list(CHAIN_ENGINE_NAMES),
+                        default=None,
+                        help="fig02/solve: chain substrate implementation "
+                        "(des reference simulation or the fastpath "
+                        "closed-form kernel; default des)")
+    parser.add_argument("--parallel", action="store_true",
+                        help="fig10-fig14: fan trial loops over the shared "
+                        "process pool; artifacts stay byte-identical to the "
+                        "serial runner")
+    parser.add_argument("--sweep-workers", type=int, default=4,
+                        help="fig10-fig14: process-pool size for --parallel "
+                        "(default 4)")
     parser.add_argument("--top", type=int, default=10,
                         help="solve/trace: rows per summary table (default 10)")
     parser.add_argument("--events", type=int, default=200,
@@ -205,7 +238,7 @@ def main(argv=None) -> int:
     names = sorted(RUNNERS) if args.experiment == "all" else [args.experiment]
     for name in names:
         started = time.time()
-        result = RUNNERS[name]()
+        result = RUNNERS[name](**runner_kwargs(name, args))
         print_result(name, result)
         preset = PRESETS.get(name) or PRESETS.get(name + "a")
         artifact_path = write_artifact(name, result, preset=preset)

@@ -38,6 +38,7 @@ from repro.data.workload import (
     generate_epoch_workload,
     generate_online_workload,
 )
+from repro.harness.parallel import map_trials
 from repro.harness.presets import PRESETS, FigurePreset
 from repro.metrics.traces import align_traces, converged_value
 from repro.metrics.valuable_degree import valuable_degree
@@ -119,8 +120,16 @@ def run_all_algorithms(
 # --------------------------------------------------------------------- #
 # Fig. 2 -- two-phase latency measurement on the Elastico substrate
 # --------------------------------------------------------------------- #
-def run_fig02_two_phase_latency(preset: FigurePreset = PRESETS["fig02"]) -> dict:
-    """Fig. 2: measure two-phase latency on the Elastico substrate."""
+def run_fig02_two_phase_latency(
+    preset: FigurePreset = PRESETS["fig02"],
+    chain_engine: Optional[str] = None,
+) -> dict:
+    """Fig. 2: measure two-phase latency on the Elastico substrate.
+
+    ``chain_engine`` picks the substrate implementation (``"des"``
+    reference or the ``"fastpath"`` closed-form kernel); ``None`` keeps
+    the preset's :class:`~repro.chain.params.ChainParams` default.
+    """
     sizes = preset.extras["network_sizes"]
     params = ChainParams(
         num_nodes=min(sizes),
@@ -128,7 +137,10 @@ def run_fig02_two_phase_latency(preset: FigurePreset = PRESETS["fig02"]) -> dict
         seed=preset.seeds[0],
     )
     measurements = measure_two_phase_latency(
-        params, sizes, epochs_per_size=int(preset.extras["epochs_per_size"])
+        params,
+        sizes,
+        epochs_per_size=int(preset.extras["epochs_per_size"]),
+        chain_engine=chain_engine,
     )
     fit = linear_growth_check(measurements)
     cdf_size = int(preset.extras["cdf_network_size"])
@@ -229,14 +241,29 @@ def run_fig09_dynamic_events(
 # --------------------------------------------------------------------- #
 # Fig. 10 -- Valuable Degree comparison
 # --------------------------------------------------------------------- #
-def run_fig10_valuable_degree(preset: FigurePreset = PRESETS["fig10"]) -> dict:
+def _fig10_trial(preset: FigurePreset, seed: int) -> Dict[str, float]:
+    """One fig10 seed: Valuable Degree per algorithm (sweep worker)."""
+    workload = generate_epoch_workload(_workload_config(preset, seed))
+    records = run_all_algorithms(workload.instance, preset, seed)
+    return {name: record["valuable_degree"] for name, record in records.items()}
+
+
+def run_fig10_valuable_degree(
+    preset: FigurePreset = PRESETS["fig10"],
+    parallel: bool = False,
+    sweep_workers: int = 4,
+) -> dict:
     """Fig. 10: Valuable Degree of SE vs the baselines."""
+    trials = map_trials(
+        _fig10_trial,
+        [(preset, seed) for seed in preset.seeds],
+        parallel=parallel,
+        num_workers=sweep_workers,
+    )
     per_algorithm: Dict[str, List[float]] = {}
-    for seed in preset.seeds:
-        workload = generate_epoch_workload(_workload_config(preset, seed))
-        records = run_all_algorithms(workload.instance, preset, seed)
-        for name, record in records.items():
-            per_algorithm.setdefault(name, []).append(record["valuable_degree"])
+    for trial in trials:
+        for name, value in trial.items():
+            per_algorithm.setdefault(name, []).append(value)
     rows = [
         {
             "algorithm": name,
@@ -264,56 +291,101 @@ def run_fig10_valuable_degree(preset: FigurePreset = PRESETS["fig10"]) -> dict:
 # --------------------------------------------------------------------- #
 # Fig. 11 -- varying |I_j| with a fixed set of arrived committees
 # --------------------------------------------------------------------- #
-def run_fig11_vary_committees(preset: FigurePreset = PRESETS["fig11"]) -> dict:
-    """Fig. 11: convergence panels while varying |I_j|."""
-    panels = {}
+def _fig11_trial(preset: FigurePreset, size: int) -> dict:
+    """One fig11 committee-set size: a full convergence panel (sweep worker)."""
     per_committee = int(preset.extras["capacity_per_committee"])
-    for size in preset.extras["sizes"]:
-        workload = generate_epoch_workload(
-            _workload_config(preset, preset.seeds[0], num_committees=size, capacity=per_committee * size)
-        )
-        records = run_all_algorithms(workload.instance, preset, preset.seeds[0])
-        panels[f"|Ij|={size}"] = {
-            "traces": align_traces({name: r["trace"] for name, r in records.items()}),
-            "converged": {name: converged_value(r["trace"]) for name, r in records.items()},
-            "utility": {name: r["utility"] for name, r in records.items()},
-        }
+    workload = generate_epoch_workload(
+        _workload_config(preset, preset.seeds[0], num_committees=size, capacity=per_committee * size)
+    )
+    records = run_all_algorithms(workload.instance, preset, preset.seeds[0])
+    return {
+        "traces": align_traces({name: r["trace"] for name, r in records.items()}),
+        "converged": {name: converged_value(r["trace"]) for name, r in records.items()},
+        "utility": {name: r["utility"] for name, r in records.items()},
+    }
+
+
+def run_fig11_vary_committees(
+    preset: FigurePreset = PRESETS["fig11"],
+    parallel: bool = False,
+    sweep_workers: int = 4,
+) -> dict:
+    """Fig. 11: convergence panels while varying |I_j|."""
+    sizes = preset.extras["sizes"]
+    trials = map_trials(
+        _fig11_trial,
+        [(preset, size) for size in sizes],
+        parallel=parallel,
+        num_workers=sweep_workers,
+    )
+    panels = {f"|Ij|={size}": panel for size, panel in zip(sizes, trials)}
     return {"figure": "fig11", "panels": panels}
 
 
 # --------------------------------------------------------------------- #
 # Fig. 12 -- varying alpha with a fixed set of arrived committees
 # --------------------------------------------------------------------- #
-def run_fig12_vary_alpha(preset: FigurePreset = PRESETS["fig12"]) -> dict:
+def _fig12_trial(preset: FigurePreset, alpha: float) -> dict:
+    """One fig12 alpha: a full convergence panel (sweep worker)."""
+    workload = generate_epoch_workload(_workload_config(preset, preset.seeds[0], alpha=alpha))
+    records = run_all_algorithms(workload.instance, preset, preset.seeds[0])
+    return {
+        "traces": align_traces({name: r["trace"] for name, r in records.items()}),
+        "converged": {name: converged_value(r["trace"]) for name, r in records.items()},
+        "utility": {name: r["utility"] for name, r in records.items()},
+    }
+
+
+def run_fig12_vary_alpha(
+    preset: FigurePreset = PRESETS["fig12"],
+    parallel: bool = False,
+    sweep_workers: int = 4,
+) -> dict:
     """Fig. 12: convergence panels while varying alpha."""
-    panels = {}
-    for alpha in preset.extras["alphas"]:
-        workload = generate_epoch_workload(_workload_config(preset, preset.seeds[0], alpha=alpha))
-        records = run_all_algorithms(workload.instance, preset, preset.seeds[0])
-        panels[f"alpha={alpha}"] = {
-            "traces": align_traces({name: r["trace"] for name, r in records.items()}),
-            "converged": {name: converged_value(r["trace"]) for name, r in records.items()},
-            "utility": {name: r["utility"] for name, r in records.items()},
-        }
+    alphas = preset.extras["alphas"]
+    trials = map_trials(
+        _fig12_trial,
+        [(preset, alpha) for alpha in alphas],
+        parallel=parallel,
+        num_workers=sweep_workers,
+    )
+    panels = {f"alpha={alpha}": panel for alpha, panel in zip(alphas, trials)}
     return {"figure": "fig12", "panels": panels}
 
 
 # --------------------------------------------------------------------- #
 # Fig. 13 -- distribution of converged utilities
 # --------------------------------------------------------------------- #
-def run_fig13_utility_distribution(preset: FigurePreset = PRESETS["fig13"]) -> dict:
+def _fig13_trial(preset: FigurePreset, alpha: float, seed: int) -> Dict[str, float]:
+    """One fig13 (alpha, seed) trial: converged utility per algorithm.
+
+    The workload is regenerated inside the worker from ``preset.seeds[0]``
+    -- it is a pure function of the config, so every trial of one alpha
+    sees the identical fixed committee set and only the algorithm seed
+    varies, exactly as in the serial loop.
+    """
+    workload = generate_epoch_workload(_workload_config(preset, preset.seeds[0], alpha=alpha))
+    records = run_all_algorithms(workload.instance, preset, seed)
+    return {name: record["utility"] for name, record in records.items()}
+
+
+def run_fig13_utility_distribution(
+    preset: FigurePreset = PRESETS["fig13"],
+    parallel: bool = False,
+    sweep_workers: int = 4,
+) -> dict:
     """Fig. 13 fixes the committee set ("with a fixed set of committees")
     and varies only the algorithms' randomness across trials."""
+    alphas = preset.extras["alphas"]
+    tasks = [(preset, alpha, seed) for alpha in alphas for seed in preset.seeds]
+    trials = map_trials(_fig13_trial, tasks, parallel=parallel, num_workers=sweep_workers)
     panels = {}
-    for alpha in preset.extras["alphas"]:
-        workload = generate_epoch_workload(
-            _workload_config(preset, preset.seeds[0], alpha=alpha)
-        )
+    for alpha_index, alpha in enumerate(alphas):
         samples: Dict[str, List[float]] = {}
-        for seed in preset.seeds:
-            records = run_all_algorithms(workload.instance, preset, seed)
-            for name, record in records.items():
-                samples.setdefault(name, []).append(record["utility"])
+        for seed_index in range(len(preset.seeds)):
+            trial = trials[alpha_index * len(preset.seeds) + seed_index]
+            for name, utility in trial.items():
+                samples.setdefault(name, []).append(utility)
         panels[f"alpha={alpha}"] = {
             name: {
                 "mean": round(float(np.mean(values)), 2),
@@ -331,34 +403,48 @@ def run_fig13_utility_distribution(preset: FigurePreset = PRESETS["fig13"]) -> d
 # --------------------------------------------------------------------- #
 # Fig. 14 -- online execution with consecutive joining
 # --------------------------------------------------------------------- #
-def run_fig14_online_joining(preset: FigurePreset = PRESETS["fig14"]) -> dict:
+def _fig14_trial(preset: FigurePreset, alpha: float) -> dict:
+    """One fig14 alpha: online SE vs offline baselines (sweep worker)."""
+    config = _workload_config(preset, preset.seeds[0], alpha=alpha)
+    workload = generate_online_workload(
+        config,
+        num_initial=int(preset.extras["num_initial"]),
+        join_start=int(preset.extras["join_start"]),
+        join_spacing=int(preset.extras["join_spacing"]),
+    )
+    se_result = StochasticExploration(_se_config(preset, preset.seeds[0])).solve(
+        workload.instance, schedule=workload.schedule
+    )
+    # Baselines are offline: they schedule the fully-arrived window
+    # (what they would produce once every join has landed).
+    final_instance = se_result.final_instance
+    records: Dict[str, dict] = {
+        "SE": {"utility": se_result.best_utility, "trace": se_result.utility_trace}
+    }
+    for scheduler in paper_baselines(preset.seeds[0]):
+        result = scheduler.solve(final_instance, preset.baseline_iterations)
+        records[scheduler.name] = {"utility": result.utility, "trace": result.utility_trace}
+    return {
+        "traces": align_traces({name: r["trace"] for name, r in records.items()}),
+        "utility": {name: r["utility"] for name, r in records.items()},
+        "joins": len(workload.schedule),
+    }
+
+
+def run_fig14_online_joining(
+    preset: FigurePreset = PRESETS["fig14"],
+    parallel: bool = False,
+    sweep_workers: int = 4,
+) -> dict:
     """Fig. 14: online SE under consecutive joins vs offline baselines."""
-    panels = {}
-    for alpha in preset.extras["alphas"]:
-        config = _workload_config(preset, preset.seeds[0], alpha=alpha)
-        workload = generate_online_workload(
-            config,
-            num_initial=int(preset.extras["num_initial"]),
-            join_start=int(preset.extras["join_start"]),
-            join_spacing=int(preset.extras["join_spacing"]),
-        )
-        se_result = StochasticExploration(_se_config(preset, preset.seeds[0])).solve(
-            workload.instance, schedule=workload.schedule
-        )
-        # Baselines are offline: they schedule the fully-arrived window
-        # (what they would produce once every join has landed).
-        final_instance = se_result.final_instance
-        records: Dict[str, dict] = {
-            "SE": {"utility": se_result.best_utility, "trace": se_result.utility_trace}
-        }
-        for scheduler in paper_baselines(preset.seeds[0]):
-            result = scheduler.solve(final_instance, preset.baseline_iterations)
-            records[scheduler.name] = {"utility": result.utility, "trace": result.utility_trace}
-        panels[f"alpha={alpha}"] = {
-            "traces": align_traces({name: r["trace"] for name, r in records.items()}),
-            "utility": {name: r["utility"] for name, r in records.items()},
-            "joins": len(workload.schedule),
-        }
+    alphas = preset.extras["alphas"]
+    trials = map_trials(
+        _fig14_trial,
+        [(preset, alpha) for alpha in alphas],
+        parallel=parallel,
+        num_workers=sweep_workers,
+    )
+    panels = {f"alpha={alpha}": panel for alpha, panel in zip(alphas, trials)}
     return {"figure": "fig14", "panels": panels}
 
 

@@ -1,0 +1,76 @@
+"""Parallel figure-sweep runner.
+
+The per-figure experiment loops in :mod:`repro.harness.experiments` are
+embarrassingly parallel: fig10/fig13 iterate independent seeds, fig11
+independent committee-set sizes, fig12/fig14 independent alphas.  Each
+loop body is factored into a module-level *trial* function (picklable, per
+lint rule MV008) that takes one task tuple and returns plain record data;
+:func:`map_trials` fans the tasks out over the spawn-safe process pool
+built in :mod:`repro.core.engine` and hands the results back **in task
+order**, so the driver-side merge -- and therefore the written artifact --
+is byte-identical to the serial runner.
+
+Determinism argument: every trial re-derives its workload and solver RNG
+from the seeds in its task tuple alone (no shared mutable state crosses
+the process boundary), and the serial runner executes the *same* trial
+functions through the same merge code, so ``parallel=True`` changes
+wall-clock only.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.core.engine import shared_pool
+
+T = TypeVar("T")
+
+#: Figures whose runners accept ``parallel=`` / ``sweep_workers=``.
+SWEEP_FIGURES = ("fig10", "fig11", "fig12", "fig13", "fig14")
+
+
+def map_trials(
+    trial: Callable[..., T],
+    tasks: Sequence[tuple],
+    parallel: bool = False,
+    num_workers: int = 4,
+) -> List[T]:
+    """Run ``trial(*task)`` for each task, serially or over the pool.
+
+    Results always come back in task order -- ``parallel`` trades wall
+    clock only, never artifact content.  ``trial`` must be a module-level
+    function and each task tuple picklable (spawn-safe dispatch).
+    """
+    if not parallel or num_workers <= 1 or len(tasks) <= 1:
+        return [trial(*task) for task in tasks]
+    pool = shared_pool(num_workers)
+    futures = [pool.submit(trial, *task) for task in tasks]
+    return [future.result() for future in futures]
+
+
+def run_sweep(
+    figure: str,
+    preset=None,
+    parallel: bool = True,
+    num_workers: int = 4,
+) -> dict:
+    """Run one sweep figure end to end, fanning trials over the pool.
+
+    Thin dispatch used by the CLI and the benches; equivalent to calling
+    the figure's runner with ``parallel=``/``sweep_workers=`` directly.
+    """
+    from repro.harness import experiments  # deferred: experiments imports us
+
+    if figure not in SWEEP_FIGURES:
+        raise ValueError(f"not a sweep figure: {figure!r} (expected one of {SWEEP_FIGURES})")
+    runners = {
+        "fig10": experiments.run_fig10_valuable_degree,
+        "fig11": experiments.run_fig11_vary_committees,
+        "fig12": experiments.run_fig12_vary_alpha,
+        "fig13": experiments.run_fig13_utility_distribution,
+        "fig14": experiments.run_fig14_online_joining,
+    }
+    kwargs = {"parallel": parallel, "sweep_workers": num_workers}
+    if preset is not None:
+        return runners[figure](preset, **kwargs)
+    return runners[figure](**kwargs)

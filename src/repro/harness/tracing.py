@@ -16,9 +16,10 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.chain.committee import calibrated_verify_mean
+from repro.chain.fastpath import run_pbft
 from repro.chain.node import spawn_nodes
 from repro.chain.params import ChainParams
-from repro.chain.pbft import PbftOutcome, run_pbft_round
+from repro.chain.pbft import PbftOutcome
 from repro.core.se import SEConfig, SEResult, StochasticExploration
 from repro.data.workload import WorkloadConfig, generate_epoch_workload
 from repro.obs.profiling import profile_call
@@ -69,6 +70,7 @@ def traced_solve(
     telemetry: Optional[Telemetry] = None,
     engine: str = "serial",
     num_workers: int = 4,
+    chain_engine: str = "des",
 ) -> TracedRun:
     """Run one fully-traced SE solve plus a final-committee PBFT round.
 
@@ -82,6 +84,9 @@ def traced_solve(
     or ``vectorized``; see :mod:`repro.core.engine`) and ``num_workers``
     sizes the parallel engine's process pool — telemetry and probes keep
     firing on the driver at segment boundaries for every engine.
+    ``chain_engine`` selects the substrate for the final PBFT round
+    (``des`` reference simulation or the ``fastpath`` closed-form kernel;
+    see :mod:`repro.chain.fastpath`).
     """
     owns_hub = telemetry is None
     if telemetry is None:
@@ -122,16 +127,17 @@ def traced_solve(
         else:
             result = solver.solve(workload.instance)
 
-    # One chain-phase: the final committee's PBFT round on the DES engine.
+    # One chain-phase: the final committee's PBFT round on the selected engine.
     streams = RandomStreams(seed)
-    params = ChainParams()
+    params = ChainParams(chain_engine=chain_engine)
     members = spawn_nodes(
         count=params.committee_size,
         byzantine_fraction=0.0,
         rng=streams.get("traced-final-members"),
     )
     with telemetry.span("harness.chain_phase"):
-        pbft = run_pbft_round(
+        pbft = run_pbft(
+            params.chain_engine,
             members=members,
             rng=streams.get("traced-final-pbft"),
             network_params=params.network,

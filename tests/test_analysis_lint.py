@@ -1,4 +1,4 @@
-"""Tests for the repro.analysis lint engine (rules MV001-MV008)."""
+"""Tests for the repro.analysis lint engine (rules MV001-MV009)."""
 
 import textwrap
 
@@ -26,6 +26,7 @@ def rule_hits(diagnostics, rule_id):
 def test_registry_ships_the_core_rules():
     assert set(registered_rules()) >= {
         "MV001", "MV002", "MV003", "MV004", "MV005", "MV006", "MV007", "MV008",
+        "MV009",
     }
 
 
@@ -426,6 +427,56 @@ class TestMV008:
             return pool.submit(lambda x: x, 1)
         """
         assert rule_hits(lint(elsewhere, path="src/repro/obs/sinks.py"), "MV008") == []
+
+
+# ---------------------------------------------------------------------- #
+# MV009 builtin hash() is PYTHONHASHSEED-salted
+# ---------------------------------------------------------------------- #
+class TestMV009:
+    def test_builtin_hash_flagged_in_chain(self):
+        bad = """
+        def addr(node_id):
+            return hash(f"node-{node_id}") % 10_000
+        """
+        assert rule_hits(lint(bad, path="src/repro/chain/pbft.py"), "MV009") == [
+            (3, "MV009"),
+        ]
+
+    def test_builtin_hash_flagged_in_sim(self):
+        bad = """
+        def bucket(key):
+            return hash(key)
+        """
+        assert rule_hits(lint(bad, path="src/repro/sim/engine.py"), "MV009") == [
+            (3, "MV009"),
+        ]
+
+    def test_hashlib_digest_is_clean(self):
+        good = """
+        import hashlib
+
+        def addr(node_id):
+            digest = hashlib.sha256(str(node_id).encode()).digest()
+            return int.from_bytes(digest[:8], "little")
+        """
+        assert rule_hits(lint(good, path="src/repro/chain/pow.py"), "MV009") == []
+
+    def test_shadowed_hash_is_clean(self):
+        good = """
+        def hash(value):
+            return 7
+
+        def addr(node_id):
+            return hash(node_id)
+        """
+        assert rule_hits(lint(good, path="src/repro/chain/pbft.py"), "MV009") == []
+
+    def test_packages_outside_chain_and_sim_ignored(self):
+        elsewhere = """
+        def key(obj):
+            return hash(obj)
+        """
+        assert rule_hits(lint(elsewhere, path="src/repro/core/se.py"), "MV009") == []
 
 
 # ---------------------------------------------------------------------- #
