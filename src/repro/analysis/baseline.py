@@ -1,0 +1,79 @@
+"""Checked-in baseline of accepted lint findings.
+
+The baseline is the second suppression channel next to inline
+``# repro: ignore[MVxxx]`` pragmas: pragmas mark *intentional* exceptions at
+the site, the baseline parks *known* findings (e.g. when a new rule lands
+against a large tree) so CI stays green while they are burned down.
+
+Entries are **line-insensitive** fingerprints ``(path, rule, message)`` so
+unrelated edits that shift line numbers do not invalidate the baseline.
+Each entry suppresses at most one finding per run (a multiset match), so a
+regression that *duplicates* a baselined finding still fails the build.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, sort_diagnostics
+
+BASELINE_VERSION = 1
+
+Fingerprint = Tuple[str, str, str]
+
+
+def _fingerprint(diagnostic: Diagnostic) -> Fingerprint:
+    path = diagnostic.path.replace("\\", "/").lstrip("./")
+    return (path, diagnostic.rule_id, diagnostic.message)
+
+
+def load_baseline(path: str) -> Counter:
+    """Load a baseline file into a fingerprint multiset.
+
+    Raises ``ValueError`` on a malformed file so a corrupted baseline fails
+    loudly instead of silently suppressing nothing (or everything).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or document.get("version") != BASELINE_VERSION:
+        raise ValueError(f"{path}: not a version-{BASELINE_VERSION} lint baseline")
+    entries = document.get("entries")
+    if not isinstance(entries, list):
+        raise ValueError(f"{path}: 'entries' must be an array")
+    fingerprints: Counter = Counter()
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict) or not all(
+            isinstance(entry.get(key), str) for key in ("path", "rule", "message")
+        ):
+            raise ValueError(f"{path}: entries[{index}] needs path/rule/message strings")
+        fingerprints[(entry["path"], entry["rule"], entry["message"])] += 1
+    return fingerprints
+
+
+def apply_baseline(
+    diagnostics: Sequence[Diagnostic], baseline: Counter
+) -> Tuple[List[Diagnostic], int]:
+    """Split findings into (kept, suppressed-count) against the baseline."""
+    remaining = Counter(baseline)
+    kept: List[Diagnostic] = []
+    suppressed = 0
+    for diagnostic in sort_diagnostics(diagnostics):
+        fingerprint = _fingerprint(diagnostic)
+        if remaining[fingerprint] > 0:
+            remaining[fingerprint] -= 1
+            suppressed += 1
+        else:
+            kept.append(diagnostic)
+    return kept, suppressed
+
+
+def render_baseline(diagnostics: Sequence[Diagnostic]) -> str:
+    """Serialize findings as a baseline document (``--write-baseline``)."""
+    entries: List[Dict[str, str]] = []
+    for diagnostic in sort_diagnostics(diagnostics):
+        path, rule, message = _fingerprint(diagnostic)
+        entries.append({"message": message, "path": path, "rule": rule})
+    document = {"entries": entries, "version": BASELINE_VERSION}
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

@@ -5,14 +5,30 @@ A rule is a class with a ``rule_id``, a one-line ``description`` and a
 register themselves via :func:`register_rule`; the engine parses each file
 once and fans the AST out to every enabled rule, then applies the
 ``pyproject.toml`` enable/disable and path-ignore configuration.
+
+Two rule shapes exist:
+
+* **Per-file rules** (:class:`Rule`, MV0xx) see one ``(tree, context)`` at a
+  time and are what :meth:`LintEngine.lint_source` runs — the fixture entry
+  point used throughout the test suite.
+* **Project rules** (:class:`ProjectRule`, MV1xx) see the whole-program
+  :class:`~repro.analysis.graph.ProjectGraph` built once per run.  They run
+  from :meth:`LintEngine.lint_paths` (the CLI path) and from
+  :meth:`LintEngine.lint_sources` (the multi-file fixture entry point), never
+  from single-snippet ``lint_source`` calls.
+
+Findings on either path can be suppressed inline with a
+``# repro: ignore[MVxxx]`` pragma on the flagged line (or on a comment-only
+line immediately above it); ``MVxxx`` may be a comma-separated list.
 """
 
 from __future__ import annotations
 
 import ast
 import os
+import re
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Type
 
 from repro.analysis.config import AnalysisConfig, load_config
 from repro.analysis.diagnostics import Diagnostic, Severity, sort_diagnostics
@@ -42,7 +58,7 @@ class FileContext:
 
 
 class Rule:
-    """Base class for lint rules."""
+    """Base class for per-file lint rules."""
 
     rule_id: str = "MV000"
     description: str = ""
@@ -63,6 +79,21 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """Base class for whole-program rules run over the project graph.
+
+    Subclasses implement :meth:`check_project` instead of :meth:`check`; the
+    per-file hook is a no-op so a ``ProjectRule`` mixed into a per-file pass
+    (e.g. by ``lint_source``) contributes nothing rather than crashing.
+    """
+
+    def check(self, tree: ast.AST, context: FileContext) -> Iterable[Diagnostic]:
+        return ()
+
+    def check_project(self, graph) -> Iterable[Diagnostic]:
+        raise NotImplementedError
+
+
 _REGISTRY: Dict[str, Type[Rule]] = {}
 
 
@@ -76,10 +107,53 @@ def register_rule(rule_class: Type[Rule]) -> Type[Rule]:
 
 
 def registered_rules() -> Dict[str, Type[Rule]]:
-    """Snapshot of the registry (importing ``rules`` populates it)."""
+    """Snapshot of the registry (importing the rule modules populates it)."""
     import repro.analysis.rules  # noqa: F401  (registration side effect)
+    import repro.analysis.rules_graph  # noqa: F401  (registration side effect)
 
     return dict(sorted(_REGISTRY.items()))
+
+
+# ---------------------------------------------------------------------- #
+# inline suppression pragmas
+# ---------------------------------------------------------------------- #
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+
+
+def pragma_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rule ids suppressed there by ``# repro: ignore[...]``.
+
+    A pragma trailing a statement applies to its own line; a pragma on a
+    comment-only line applies to the next line (so long messages can carry
+    the pragma above the flagged statement).
+    """
+    suppressions: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(line)
+        if match is None:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        target = lineno + 1 if line.lstrip().startswith("#") else lineno
+        suppressions.setdefault(target, set()).update(rules)
+    return suppressions
+
+
+def _apply_pragmas(
+    diagnostics: Iterable[Diagnostic], sources: Mapping[str, str]
+) -> List[Diagnostic]:
+    """Drop diagnostics whose (path, line) carries a matching pragma."""
+    by_path: Dict[str, Dict[int, Set[str]]] = {}
+    for path, source in sources.items():
+        normalized = path.replace(os.sep, "/").lstrip("./")
+        by_path[normalized] = pragma_suppressions(source)
+    kept: List[Diagnostic] = []
+    for diagnostic in diagnostics:
+        normalized = diagnostic.path.replace(os.sep, "/").lstrip("./")
+        suppressed = by_path.get(normalized, {}).get(diagnostic.line, set())
+        if diagnostic.rule_id in suppressed:
+            continue
+        kept.append(diagnostic)
+    return kept
 
 
 class LintEngine:
@@ -92,19 +166,38 @@ class LintEngine:
             for rule_id, rule_class in registered_rules().items()
             if self.config.rule_enabled(rule_id)
         ]
+        self.file_rules: List[Rule] = [
+            rule for rule in self.rules if not isinstance(rule, ProjectRule)
+        ]
+        self.project_rules: List[ProjectRule] = [
+            rule for rule in self.rules if isinstance(rule, ProjectRule)
+        ]
 
     # ------------------------------------------------------------------ #
     # entry points
     # ------------------------------------------------------------------ #
     def lint_paths(self, paths: Sequence[str]) -> List[Diagnostic]:
-        """Lint files and/or directory trees (``.py`` files only)."""
+        """Lint files and/or directory trees (``.py`` files only).
+
+        Runs the per-file rules on every file, then the project rules over
+        the whole-program graph of all collected files, then filters inline
+        pragmas.
+        """
         diagnostics: List[Diagnostic] = []
+        sources: Dict[str, str] = {}
         for path in _walk_python_files(paths):
-            diagnostics.extend(self.lint_file(path))
-        return sort_diagnostics(diagnostics)
+            normalized = path.replace(os.sep, "/").lstrip("./")
+            if self.config.path_ignored(normalized):
+                continue
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            sources[path] = source
+            diagnostics.extend(self._file_diagnostics(source, path))
+        diagnostics.extend(self._project_diagnostics(sources))
+        return sort_diagnostics(_apply_pragmas(diagnostics, sources))
 
     def lint_file(self, path: str) -> List[Diagnostic]:
-        """Lint one file on disk."""
+        """Lint one file on disk (per-file rules only)."""
         normalized = path.replace(os.sep, "/").lstrip("./")
         if self.config.path_ignored(normalized):
             return []
@@ -113,10 +206,40 @@ class LintEngine:
         return self.lint_source(source, path)
 
     def lint_source(self, source: str, path: str = "<string>") -> List[Diagnostic]:
-        """Lint a source string (the test-fixture entry point)."""
+        """Lint a source string (the single-file test-fixture entry point).
+
+        Only per-file rules run here: a lone snippet has no project graph,
+        and keeping MV1xx out of this path keeps small fixtures focused on
+        the rule they exercise.
+        """
         normalized = path.replace(os.sep, "/").lstrip("./")
         if self.config.path_ignored(normalized):
             return []
+        diagnostics = self._file_diagnostics(source, path)
+        return sort_diagnostics(_apply_pragmas(diagnostics, {path: source}))
+
+    def lint_sources(self, sources: Mapping[str, str]) -> List[Diagnostic]:
+        """Lint a ``{path: source}`` fixture set with per-file AND project rules.
+
+        The multi-file counterpart of :meth:`lint_source`, used to exercise
+        the MV1xx cross-module rules without touching the filesystem.
+        """
+        diagnostics: List[Diagnostic] = []
+        kept: Dict[str, str] = {}
+        for path in sorted(sources):
+            normalized = path.replace(os.sep, "/").lstrip("./")
+            if self.config.path_ignored(normalized):
+                continue
+            kept[path] = sources[path]
+            diagnostics.extend(self._file_diagnostics(sources[path], path))
+        diagnostics.extend(self._project_diagnostics(kept))
+        return sort_diagnostics(_apply_pragmas(diagnostics, kept))
+
+    # ------------------------------------------------------------------ #
+    # passes
+    # ------------------------------------------------------------------ #
+    def _file_diagnostics(self, source: str, path: str) -> List[Diagnostic]:
+        normalized = path.replace(os.sep, "/").lstrip("./")
         context = FileContext(path=path, normalized=normalized, source=source)
         try:
             tree = ast.parse(source, filename=path)
@@ -131,11 +254,44 @@ class LintEngine:
                 )
             ]
         diagnostics: List[Diagnostic] = []
-        for rule in self.rules:
+        for rule in self.file_rules:
             if self.config.path_ignored(normalized, rule.rule_id):
                 continue
             diagnostics.extend(rule.check(tree, context))
-        return sort_diagnostics(diagnostics)
+        return diagnostics
+
+    def _project_diagnostics(self, sources: Mapping[str, str]) -> List[Diagnostic]:
+        if not self.project_rules or not sources:
+            return []
+        from repro.analysis.graph import build_graph_from_sources
+
+        graph = build_graph_from_sources(
+            {
+                path: (path.replace(os.sep, "/").lstrip("./"), source)
+                for path, source in sources.items()
+            }
+        )
+        diagnostics: List[Diagnostic] = []
+        for rule in self.project_rules:
+            for diagnostic in rule.check_project(graph):
+                normalized = diagnostic.path.replace(os.sep, "/").lstrip("./")
+                if self.config.path_ignored(normalized, rule.rule_id):
+                    continue
+                diagnostics.append(diagnostic)
+        return diagnostics
+
+    def build_graph(self, paths: Sequence[str]):
+        """Build (and return) the project graph for ``--graph`` dumps."""
+        from repro.analysis.graph import build_graph_from_sources
+
+        sources: Dict[str, tuple] = {}
+        for path in _walk_python_files(paths):
+            normalized = path.replace(os.sep, "/").lstrip("./")
+            if self.config.path_ignored(normalized):
+                continue
+            with open(path, "r", encoding="utf-8") as handle:
+                sources[path] = (normalized, handle.read())
+        return build_graph_from_sources(sources)
 
 
 def _walk_python_files(paths: Sequence[str]) -> Iterator[str]:

@@ -1,0 +1,230 @@
+"""Mechanical autofixes for MV004 and MV005 (``mvcom lint --fix``).
+
+Only transformations that are provably behavior-preserving-or-better are
+applied:
+
+* **MV004** — a mutable default (``def f(x=[])``) becomes ``x=None`` plus an
+  ``if x is None: x = []`` guard inserted right after the docstring, which is
+  the rewrite the rule message prescribes.
+* **MV005** — a bare ``except:`` becomes ``except Exception:`` *only when the
+  handler body actually does something*; a pass-only bare handler is left
+  alone (typing it would just trade the bare-except finding for the
+  silent-swallow finding) and reported as not mechanically fixable.
+
+The fixer is **byte-idempotent**: running it twice changes nothing on the
+second pass, which a regression test asserts.  Edits are computed from AST
+positions and applied bottom-up so earlier edits never shift later offsets.
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.analysis.rules import MutableDefaultRule, SilentExceptRule
+
+
+@dataclass
+class FixResult:
+    """Outcome of fixing one source buffer."""
+
+    source: str
+    applied: List[str] = field(default_factory=list)  # human-readable edits
+    unfixable: List[str] = field(default_factory=list)  # findings --fix skips
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.applied)
+
+
+# one text edit: replace source[start:end] with text (offsets into the buffer)
+_Edit = Tuple[int, int, str]
+
+
+def fix_source(source: str, path: str = "<string>") -> FixResult:
+    """Apply MV004/MV005 autofixes to one source string."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return FixResult(source=source, unfixable=[f"{path}: syntax error, skipped"])
+    offsets = _line_offsets(source)
+    edits: List[_Edit] = []
+    applied: List[str] = []
+    unfixable: List[str] = []
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _fix_mutable_defaults(node, source, offsets, edits, applied, unfixable, path)
+        elif isinstance(node, ast.ExceptHandler):
+            _fix_bare_except(node, source, offsets, edits, applied, unfixable, path)
+
+    if not edits:
+        return FixResult(source=source, unfixable=unfixable)
+    new_source = _apply_edits(source, edits)
+    # Never emit something that does not parse: fall back to the original.
+    try:
+        ast.parse(new_source, filename=path)
+    except SyntaxError:  # pragma: no cover - safety net
+        return FixResult(
+            source=source, unfixable=unfixable + [f"{path}: fix produced a syntax error, reverted"]
+        )
+    return FixResult(source=new_source, applied=applied, unfixable=unfixable)
+
+
+def render_fix_diff(path: str, before: str, after: str) -> str:
+    """Unified diff for ``--fix --dry-run``."""
+    diff = difflib.unified_diff(
+        before.splitlines(keepends=True),
+        after.splitlines(keepends=True),
+        fromfile=f"a/{path}",
+        tofile=f"b/{path}",
+    )
+    return "".join(diff)
+
+
+# ---------------------------------------------------------------------- #
+# MV004: mutable defaults
+# ---------------------------------------------------------------------- #
+def _fix_mutable_defaults(
+    node: ast.AST,
+    source: str,
+    offsets: List[int],
+    edits: List[_Edit],
+    applied: List[str],
+    unfixable: List[str],
+    path: str,
+) -> None:
+    positional = node.args.posonlyargs + node.args.args
+    pairs = list(
+        zip(positional[len(positional) - len(node.args.defaults):], node.args.defaults)
+    )
+    pairs += [
+        (arg, default)
+        for arg, default in zip(node.args.kwonlyargs, node.args.kw_defaults)
+        if default is not None
+    ]
+    guards: List[Tuple[str, str, int]] = []  # (param, original default text, line)
+    for arg, default in pairs:
+        if not MutableDefaultRule._mutable(default):
+            continue
+        start = _offset(offsets, default.lineno, default.col_offset)
+        end = _offset(offsets, default.end_lineno, default.end_col_offset)
+        guards.append((arg.arg, source[start:end], default.lineno))
+    if not guards:
+        return
+    insertion = _body_insertion_point(node, source, offsets)
+    if insertion is None:
+        unfixable.append(
+            f"{path}:{node.lineno}: MV004 in single-line {node.name}(); "
+            "put the body on its own line to enable --fix"
+        )
+        return
+    insert_at, indent = insertion
+    for arg, default in pairs:
+        if not MutableDefaultRule._mutable(default):
+            continue
+        start = _offset(offsets, default.lineno, default.col_offset)
+        end = _offset(offsets, default.end_lineno, default.end_col_offset)
+        default_text = source[start:end]
+        edits.append((start, end, "None"))
+        applied.append(
+            f"{path}:{default.lineno}: MV004 default {default_text!r} for "
+            f"'{arg.arg}' of {node.name}() -> None + guard"
+        )
+    lines = "".join(
+        f"{indent}if {param} is None:\n{indent}    {param} = {default_text}\n"
+        for param, default_text, _line in guards
+    )
+    if insert_at > 0 and source[insert_at - 1] != "\n":
+        lines = "\n" + lines  # docstring at EOF without trailing newline
+    edits.append((insert_at, insert_at, lines))
+
+
+def _body_insertion_point(
+    node: ast.AST, source: str, offsets: List[int]
+) -> Optional[Tuple[int, str]]:
+    """Offset of the guard-insertion line, or None for inline bodies.
+
+    The guards go on the line of the first non-docstring body statement
+    (i.e. after the docstring when there is one).
+    """
+    body = node.body
+    first = body[0]
+    has_docstring = (
+        isinstance(first, ast.Expr)
+        and isinstance(first.value, ast.Constant)
+        and isinstance(first.value.value, str)
+    )
+    if has_docstring and len(body) == 1:
+        # docstring-only body: insert after the docstring's last line
+        insert_line = first.end_lineno + 1
+        indent = " " * first.col_offset
+        insert_at = (
+            _offset(offsets, insert_line, 0)
+            if insert_line <= len(offsets)
+            else len(source)
+        )
+        return insert_at, indent
+    anchor = body[1] if has_docstring else first
+    line_start = _offset(offsets, anchor.lineno, 0)
+    prefix = source[line_start : line_start + anchor.col_offset]
+    if prefix.strip():
+        return None  # `def f(x=[]): return x` — body shares the def line
+    return line_start, " " * anchor.col_offset
+
+
+# ---------------------------------------------------------------------- #
+# MV005: bare except
+# ---------------------------------------------------------------------- #
+_BARE_EXCEPT_RE = re.compile(r"except(\s*)(\*?)(\s*):")
+
+
+def _fix_bare_except(
+    node: ast.ExceptHandler,
+    source: str,
+    offsets: List[int],
+    edits: List[_Edit],
+    applied: List[str],
+    unfixable: List[str],
+    path: str,
+) -> None:
+    if node.type is not None:
+        return
+    if SilentExceptRule._swallows(node.body):
+        unfixable.append(
+            f"{path}:{node.lineno}: MV005 bare 'except:' with pass-only body "
+            "needs a real handler; not mechanically fixable"
+        )
+        return
+    start = _offset(offsets, node.lineno, node.col_offset)
+    window = source[start : start + 120]
+    match = _BARE_EXCEPT_RE.match(window)
+    if match is None or match.group(2):  # no match, or 'except*' group syntax
+        return
+    edits.append((start, start + match.end(), "except Exception:"))
+    applied.append(
+        f"{path}:{node.lineno}: MV005 bare 'except:' -> 'except Exception:'"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# text-edit plumbing
+# ---------------------------------------------------------------------- #
+def _line_offsets(source: str) -> List[int]:
+    offsets = [0]
+    for line in source.splitlines(keepends=True):
+        offsets.append(offsets[-1] + len(line))
+    return offsets
+
+
+def _offset(offsets: List[int], line: Optional[int], col: Optional[int]) -> int:
+    return offsets[(line or 1) - 1] + (col or 0)
+
+
+def _apply_edits(source: str, edits: List[_Edit]) -> str:
+    for start, end, text in sorted(edits, key=lambda e: (e[0], e[1]), reverse=True):
+        source = source[:start] + text + source[end:]
+    return source

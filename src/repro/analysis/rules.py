@@ -56,6 +56,25 @@ REPLAY_PACKAGES = (
 RNG_MODULE = "repro/sim/rng.py"
 
 
+def _scope_walk(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``root``'s descendants without entering nested function scopes.
+
+    ``ast.walk`` descends into nested ``def``s and lambdas, which makes
+    scope-sensitive rules (MV003's global-RNG check, MV008's closure check,
+    MV009's shadow tracking) blame the outer function for the inner one's
+    code — and report the same node twice when both scopes are checked.
+    Class bodies ARE entered (they execute in the enclosing scope), but the
+    methods inside them are not.
+    """
+    stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
 # ---------------------------------------------------------------------- #
 # import tracking shared by MV001/MV002/MV003
 # ---------------------------------------------------------------------- #
@@ -283,6 +302,18 @@ class RngParameterRule(Rule):
         for node in ast.walk(tree):
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
+            for packed in (node.args.vararg, node.args.kwarg):
+                # ``*rng`` / ``**rng`` pack tuples/dicts, never a Generator;
+                # flag the naming instead of demanding an impossible annotation.
+                if packed is not None and packed.arg == "rng":
+                    star = "**" if packed is node.args.kwarg else "*"
+                    yield self.diagnostic(
+                        context,
+                        packed,
+                        f"parameter '{star}rng' of {node.name}() packs "
+                        "arguments and can never be a Generator stream; "
+                        "rename it or take 'rng: np.random.Generator'",
+                    )
             rng_args = [
                 arg
                 for arg in (
@@ -308,7 +339,10 @@ class RngParameterRule(Rule):
                         f"parameter 'rng' of {node.name}() is annotated "
                         f"{annotation!r}, not np.random.Generator",
                     )
-            for inner in ast.walk(node):
+            # Scope-confined walk: a nested def's global-RNG call is that
+            # function's own finding, not this one's (and must not be
+            # reported twice when both carry an ``rng`` parameter).
+            for inner in _scope_walk(node):
                 if isinstance(inner, ast.Call):
                     described = _global_rng_call(inner, imports)
                     if described is not None and not described.endswith(".Generator"):
@@ -583,8 +617,28 @@ class PicklableSubmissionRule(Rule):
             return
         if not self._imports_executors(tree):
             return
-        nested = self._nested_callables(tree)
-        for node in ast.walk(tree):
+        # Module scope: top-level defs are picklable by reference, so the
+        # visible-closure set starts empty and grows per enclosing function.
+        yield from self._check_scope(tree, context, frozenset())
+
+    def _check_scope(
+        self, scope: ast.AST, context: FileContext, closures: frozenset
+    ) -> Iterator[Diagnostic]:
+        """Check one function scope; ``closures`` = function-local def names
+        visible here (Python scoping: these shadow same-named module-level
+        functions, which is exactly why a plain name-set over the whole tree
+        misfires)."""
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defined_here = frozenset(
+                inner.name
+                for inner in _scope_walk(scope)
+                if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef))
+            )
+            closures = closures | defined_here
+        for node in _scope_walk(scope):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_scope(node, context, closures)
+                continue
             if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
                 continue
             if node.func.attr not in _EXECUTOR_METHODS or not node.args:
@@ -599,15 +653,37 @@ class PicklableSubmissionRule(Rule):
                             "pickled by a spawn-context worker; define a "
                             "module-level function instead",
                         )
-            target = node.args[0]
-            if isinstance(target, ast.Name) and target.id in nested:
+            target = self._submission_target(node.args[0])
+            if isinstance(target, ast.Name) and target.id in closures:
+                wrapped = "" if target is node.args[0] else " (via functools.partial)"
                 yield self.diagnostic(
                     context,
                     target,
-                    f"closure {target.id}() passed to .{node.func.attr}() is "
-                    "defined inside another function and cannot be pickled by "
-                    "a spawn-context worker; hoist it to module level",
+                    f"closure {target.id}(){wrapped} passed to "
+                    f".{node.func.attr}() is defined inside another function "
+                    "and cannot be pickled by a spawn-context worker; hoist "
+                    "it to module level",
                 )
+
+    @staticmethod
+    def _submission_target(expr: ast.expr) -> ast.expr:
+        """Unwrap ``functools.partial(...)`` chains to the wrapped callable.
+
+        ``partial`` objects pickle by pickling the wrapped function, so
+        ``submit(partial(closure, x))`` fails exactly like ``submit(closure)``.
+        """
+        while isinstance(expr, ast.Call) and expr.args:
+            func = expr.func
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            else:
+                break
+            if name != "partial":
+                break
+            expr = expr.args[0]
+        return expr
 
     @staticmethod
     def _imports_executors(tree: ast.AST) -> bool:
@@ -622,20 +698,6 @@ class PicklableSubmissionRule(Rule):
                 if module.split(".")[0] in ("concurrent", "multiprocessing"):
                     return True
         return False
-
-    @staticmethod
-    def _nested_callables(tree: ast.AST) -> Set[str]:
-        """Names of functions defined inside other functions (closures)."""
-        nested: Set[str] = set()
-        for node in ast.walk(tree):
-            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                continue
-            for inner in ast.walk(node):
-                if inner is node:
-                    continue
-                if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                    nested.add(inner.name)
-        return nested
 
 
 # ---------------------------------------------------------------------- #
@@ -659,8 +721,28 @@ class BuiltinHashRule(Rule):
     def check(self, tree: ast.AST, context: FileContext) -> Iterator[Diagnostic]:
         if not context.in_package(*_HASHSEED_PACKAGES):
             return
-        shadowed = self._local_definitions(tree)
-        for node in ast.walk(tree):
+        # Scope-aware shadowing: a function-local ``hash = ...`` used to be
+        # collected by a whole-tree walk and silenced the rule module-wide;
+        # shadows now apply only inside the scope that binds them.
+        yield from self._check_scope(tree, context, self._scope_bindings(tree))
+
+    def _check_scope(
+        self, scope: ast.AST, context: FileContext, shadowed: Set[str]
+    ) -> Iterator[Diagnostic]:
+        for node in _scope_walk(scope):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                inner = shadowed | self._scope_bindings(node)
+                inner |= {
+                    arg.arg
+                    for arg in (
+                        node.args.posonlyargs
+                        + node.args.args
+                        + node.args.kwonlyargs
+                        + [a for a in (node.args.vararg, node.args.kwarg) if a]
+                    )
+                }
+                yield from self._check_scope(node, context, inner)
+                continue
             if not isinstance(node, ast.Call):
                 continue
             if isinstance(node.func, ast.Name) and node.func.id == "hash" and "hash" not in shadowed:
@@ -673,10 +755,10 @@ class BuiltinHashRule(Rule):
                 )
 
     @staticmethod
-    def _local_definitions(tree: ast.AST) -> Set[str]:
-        """Module-level names that shadow builtins (defs, imports, assigns)."""
+    def _scope_bindings(scope: ast.AST) -> Set[str]:
+        """Names bound directly in ``scope`` (defs, imports, assignments)."""
         names: Set[str] = set()
-        for node in ast.walk(tree):
+        for node in _scope_walk(scope):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 names.add(node.name)
             elif isinstance(node, ast.ImportFrom):

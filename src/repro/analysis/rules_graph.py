@@ -1,0 +1,770 @@
+"""The MV1xx rule family: whole-program, flow-aware determinism checks.
+
+Where the MV00x rules inspect one file at a time, these rules run over the
+:class:`repro.analysis.graph.ProjectGraph` built once per lint run:
+
+* **MV101 stream-collision detection** — every named-stream key site
+  (``streams.get``, ``spawn_rng``/``spawn_fast_rng``, ``derive_seed``,
+  f-string templates included) is extracted and two hazards are flagged:
+  a key that is *constant across a loop* (each iteration consumes the same
+  stream — the PR 3 shared ``"leave-reinit"`` bug class), and two distinct
+  call sites whose key patterns can unify against the same registry.
+* **MV102 wall-clock/entropy taint** — MV002 made interprocedural:
+  replayable-package functions that *transitively* reach ``time.time``,
+  ``datetime.now``, ``os.urandom``, ``uuid.uuid4``, ``secrets.*`` or a
+  global/unseeded RNG through the project call graph are findings, with the
+  offending call chain spelled out.
+* **MV103 pickling reachability** — MV008 strengthened: callables and
+  arguments crossing a ``submit``/``map`` process-pool boundary must
+  resolve to module-level picklable objects; bound methods, locally-built
+  callables, generator expressions and open file handles are findings.
+* **MV104 telemetry-guard flow** — telemetry emission inside a loop body
+  must sit behind a dominating ``telemetry.enabled`` guard (directly, via a
+  hoisted alias such as ``self.traced = telemetry.enabled``, or via an
+  early ``if not telemetry.enabled: return/continue``), so the NullTelemetry
+  fast path stays near-zero-cost in hot loops.
+
+Intentional exceptions are expressed inline (``# repro: ignore[MV101]``) or
+through the checked-in lint baseline; see ``repro.analysis.baseline``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.engine import ProjectRule, register_rule
+from repro.analysis.graph import (
+    MODULE_BODY,
+    CallSite,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectGraph,
+    attribute_chain,
+)
+from repro.analysis.rules import (
+    REPLAY_PACKAGES,
+    RNG_MODULE,
+    WallClockRule,
+    _EXECUTOR_PACKAGES,
+    _EXECUTOR_METHODS,
+    _ImportMap,
+    _global_rng_call,
+)
+from repro.analysis.streamkeys import (
+    KeySite,
+    collect_key_sites,
+    patterns_can_unify,
+)
+
+
+def _in_package(normalized: str, suffixes: Sequence[str]) -> bool:
+    probe = f"/{normalized}"
+    for suffix in suffixes:
+        if suffix.endswith("/"):
+            if f"/{suffix}" in probe:
+                return True
+        elif normalized == suffix or normalized.endswith("/" + suffix):
+            return True
+    return False
+
+
+def _project_diagnostic(
+    rule, module_path: str, line: int, col: int, message: str
+) -> Diagnostic:
+    return Diagnostic(
+        path=module_path,
+        line=line,
+        column=col,
+        rule_id=rule.rule_id,
+        message=message,
+        severity=rule.severity,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# MV101
+# ---------------------------------------------------------------------- #
+@register_rule
+class StreamCollisionRule(ProjectRule):
+    """MV101: two call paths can consume the same named random stream."""
+
+    rule_id = "MV101"
+    description = (
+        "named-stream keys must be unique per independent consumer: a key "
+        "constant across a loop, or two call sites whose key patterns unify "
+        "against one registry, collide (the PR 3 'leave-reinit' bug class)"
+    )
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Diagnostic]:
+        sites = [s for s in collect_key_sites(graph) if not s.pattern.is_opaque]
+        seen: Set[Tuple] = set()
+        for site in sites:
+            key = (site.path, site.line, site.col, site.pattern.display(), site.family)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield from self._check_loop_shared(graph, site)
+        yield from self._check_cross_site(graph, sites)
+
+    # -------------------------------------------------------------- #
+    # loop-shared keys
+    # -------------------------------------------------------------- #
+    def _check_loop_shared(
+        self, graph: ProjectGraph, site: KeySite
+    ) -> Iterator[Diagnostic]:
+        if site.in_loop:
+            if site.registry_loop_local:
+                return  # fresh registry per iteration: a fresh key space
+            if not self._constant_under(site.pattern, site.loop_vars):
+                return
+            path = graph.shortest_path_to(site.function)
+            loop_vars = ", ".join(sorted(set(site.loop_vars))) or "<loop>"
+            yield _project_diagnostic(
+                self,
+                site.path,
+                site.line,
+                site.col,
+                f"stream key {site.pattern.display()!r} is constant across the "
+                f"loop over {loop_vars!r}: every iteration consumes the same "
+                f"named stream (call path {graph.render_path(path)}); derive a "
+                "per-iteration key instead",
+            )
+        elif site.registry_is_param and site.pattern.is_literal:
+            # Interprocedural variant: the registry arrives as a parameter
+            # and some caller invokes this function from inside a loop — the
+            # constant key is then shared across that caller's iterations.
+            function = graph.functions.get(site.function)
+            if function is None:
+                return
+            for caller_name, caller_site in graph.callers_of(site.function):
+                if not caller_site.in_loop:
+                    continue
+                caller = graph.functions[caller_name]
+                entry = graph.shortest_path_to(caller_name)
+                yield _project_diagnostic(
+                    self,
+                    site.path,
+                    site.line,
+                    site.col,
+                    f"stream key {site.pattern.display()!r} is constant but "
+                    f"{function.display()}() is called inside a loop at "
+                    f"{caller.path}:{caller_site.line} (call path "
+                    f"{graph.render_path(entry + (site.function,))}): each "
+                    "iteration consumes the same named stream; key the stream "
+                    "by the loop entity",
+                )
+                return  # one finding per site is enough
+
+    @staticmethod
+    def _constant_under(pattern, loop_vars: Tuple[str, ...]) -> bool:
+        """Does no hole of ``pattern`` depend on a loop-varying name?"""
+        if pattern.is_literal:
+            return True
+        varying = set(loop_vars)
+        for expr in pattern.hole_exprs():
+            try:
+                names = {
+                    n.id
+                    for n in ast.walk(ast.parse(expr, mode="eval"))
+                    if isinstance(n, ast.Name)
+                }
+            except SyntaxError:
+                return False  # opaque hole: assume it varies
+            if names & varying:
+                return False
+        return True
+
+    # -------------------------------------------------------------- #
+    # cross-site pattern unification
+    # -------------------------------------------------------------- #
+    def _check_cross_site(
+        self, graph: ProjectGraph, sites: List[KeySite]
+    ) -> Iterator[Diagnostic]:
+        groups: Dict[Tuple, List[KeySite]] = {}
+        seen_sites: Set[Tuple] = set()
+        for site in sites:
+            dedupe = (site.path, site.line, site.col, site.pattern.display(), site.family)
+            if dedupe in seen_sites:
+                continue
+            seen_sites.add(dedupe)
+            scope = site.function if site.registry_local_ctor else "*"
+            groups.setdefault((site.key_space, scope, site.registry), []).append(site)
+        reported: Set[Tuple] = set()
+        for group_key in sorted(groups, key=str):
+            members = groups[group_key]
+            for i, first in enumerate(members):
+                for second in members[i + 1:]:
+                    if (first.path, first.line) == (second.path, second.line):
+                        continue
+                    if not patterns_can_unify(first.pattern, second.pattern):
+                        continue
+                    pair = tuple(
+                        sorted(
+                            [
+                                (first.path, first.line, first.pattern.display()),
+                                (second.path, second.line, second.pattern.display()),
+                            ]
+                        )
+                    )
+                    if pair in reported:
+                        continue
+                    reported.add(pair)
+                    # anchor the finding at the later site; describe both
+                    a, b = sorted((first, second), key=lambda s: (s.path, s.line, s.col))
+                    path_a = graph.render_path(graph.shortest_path_to(a.function))
+                    path_b = graph.render_path(graph.shortest_path_to(b.function))
+                    yield _project_diagnostic(
+                        self,
+                        b.path,
+                        b.line,
+                        b.col,
+                        f"stream key pattern {b.pattern.display()!r} (call path "
+                        f"{path_b}) can unify with {a.pattern.display()!r} at "
+                        f"{a.path}:{a.line} (call path {path_a}): two call "
+                        "paths can consume the same named stream; make the key "
+                        "patterns disjoint or mark the sharing intentional "
+                        "with '# repro: ignore[MV101]'",
+                    )
+
+
+# ---------------------------------------------------------------------- #
+# MV102
+# ---------------------------------------------------------------------- #
+#: Sink descriptions for entropy modules watched beyond MV001/MV002.
+_ENTROPY_MODULE_ATTRS = {
+    "os": {"urandom", "getrandom"},
+    "uuid": {"uuid1", "uuid4"},
+}
+_ENTROPY_MODULES = {"secrets"}  # every attribute is entropy
+
+
+@register_rule
+class TransitiveWallClockRule(ProjectRule):
+    """MV102: replayable code transitively reaching wall clocks / entropy."""
+
+    rule_id = "MV102"
+    description = (
+        "repro/{core,sim,chain,baselines,faultinject} functions must not "
+        "transitively reach time.time/datetime.now/os.urandom/secrets/"
+        "uuid4 or a global RNG through the call graph; thread the virtual "
+        "clock and named streams instead"
+    )
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Diagnostic]:
+        direct: Dict[str, str] = {}  # qualname -> sink description
+        for function in graph.iter_functions():
+            module = graph.modules[function.module]
+            if module.normalized.endswith(RNG_MODULE):
+                continue  # seeded constructors, not entropy
+            sink = self._direct_sink(module, function)
+            if sink is not None:
+                direct[function.qualname] = sink
+
+        # BFS from sinks through the caller index; first (shortest) chain
+        # wins, ties broken by sorted caller order for determinism.
+        chains: Dict[str, Tuple[str, ...]] = {
+            qualname: (qualname,) for qualname in sorted(direct)
+        }
+        frontier = sorted(direct)
+        while frontier:
+            next_frontier: List[str] = []
+            for qualname in frontier:
+                for caller, _site in sorted(
+                    graph.callers_of(qualname), key=lambda c: c[0]
+                ):
+                    if caller in chains:
+                        continue
+                    chains[caller] = (caller,) + chains[qualname]
+                    next_frontier.append(caller)
+            frontier = sorted(set(next_frontier))
+
+        for function in graph.iter_functions():
+            qualname = function.qualname
+            chain = chains.get(qualname)
+            if chain is None or len(chain) < 2:
+                continue  # clean, or a direct sink (MV001/MV002 territory)
+            if qualname in direct:
+                continue
+            module = graph.modules[function.module]
+            if not _in_package(module.normalized, REPLAY_PACKAGES):
+                continue
+            sink_function = chain[-1]
+            sink = direct[sink_function]
+            # anchor at the call that starts the chain
+            line, col = function.line, 0
+            for site in function.calls:
+                if site.target == chain[1]:
+                    line, col = site.line, site.col
+                    break
+            yield _project_diagnostic(
+                self,
+                function.path,
+                line,
+                col,
+                f"{function.display()}() transitively reaches {sink}() via "
+                f"{graph.render_path(chain)}; replayable code must take the "
+                "virtual clock / a named stream as a parameter",
+            )
+
+    @staticmethod
+    def _direct_sink(module: ModuleInfo, function: FunctionInfo) -> Optional[str]:
+        imports = _ImportMap(module.tree)
+        entropy = _entropy_imports(module.tree)
+        for site in function.calls:
+            node = site.node
+            described = WallClockRule._wall_clock_call(node, imports)
+            if described is not None:
+                return described
+            described = _global_rng_call(node, imports)
+            if described is not None and not described.endswith(".Generator"):
+                return described
+            described = _entropy_call(node, entropy)
+            if described is not None:
+                return described
+        return None
+
+
+def _entropy_imports(tree: ast.AST) -> Dict[str, str]:
+    """Local aliases of the entropy modules/functions MV102 watches."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in _ENTROPY_MODULE_ATTRS or root in _ENTROPY_MODULES:
+                    aliases[alias.asname or root] = root
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            module = (node.module or "").split(".")[0]
+            if module in _ENTROPY_MODULE_ATTRS:
+                for alias in node.names:
+                    if alias.name in _ENTROPY_MODULE_ATTRS[module]:
+                        aliases[alias.asname or alias.name] = f"{module}.{alias.name}"
+            elif module in _ENTROPY_MODULES:
+                for alias in node.names:
+                    aliases[alias.asname or alias.name] = f"{module}.{alias.name}"
+    return aliases
+
+
+def _entropy_call(node: ast.Call, aliases: Dict[str, str]) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Name):
+        target = aliases.get(func.id)
+        if target is not None and "." in target:
+            return target
+        return None
+    chain = attribute_chain(func)
+    if chain is None or len(chain) < 2:
+        return None
+    root = aliases.get(chain[0])
+    if root is None:
+        return None
+    if root in _ENTROPY_MODULES:
+        return f"{root}." + ".".join(chain[1:])
+    if root in _ENTROPY_MODULE_ATTRS and chain[1] in _ENTROPY_MODULE_ATTRS[root]:
+        return f"{root}." + ".".join(chain[1:])
+    return None
+
+
+# ---------------------------------------------------------------------- #
+# MV103
+# ---------------------------------------------------------------------- #
+@register_rule
+class PicklingReachabilityRule(ProjectRule):
+    """MV103: everything crossing a process-pool boundary must pickle."""
+
+    rule_id = "MV103"
+    description = (
+        "submit/map payloads in repro/{core,harness} must resolve to "
+        "module-level picklable callables and arguments: bound methods, "
+        "locally-built callables, generator expressions and open file "
+        "handles die on a spawn-context worker"
+    )
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Diagnostic]:
+        from repro.analysis.rules import PicklableSubmissionRule
+
+        for module_name in sorted(graph.modules):
+            module = graph.modules[module_name]
+            if not _in_package(module.normalized, _EXECUTOR_PACKAGES):
+                continue
+            if not PicklableSubmissionRule._imports_executors(module.tree):
+                continue
+            for qualname in sorted(module.functions):
+                function = module.functions[qualname]
+                open_handles = _open_handle_names(function)
+                for site in function.calls:
+                    node = site.node
+                    if not isinstance(node.func, ast.Attribute):
+                        continue
+                    if node.func.attr not in _EXECUTOR_METHODS or not node.args:
+                        continue
+                    yield from self._check_submission(
+                        graph, module, function, node, open_handles
+                    )
+
+    def _check_submission(
+        self,
+        graph: ProjectGraph,
+        module: ModuleInfo,
+        function: FunctionInfo,
+        call: ast.Call,
+        open_handles: Set[str],
+    ) -> Iterator[Diagnostic]:
+        method = call.func.attr  # submit | map
+        target = call.args[0]
+        yield from self._check_callable(graph, module, function, call, target, method)
+        for arg in call.args[1:]:
+            if isinstance(arg, ast.GeneratorExp):
+                yield _project_diagnostic(
+                    self,
+                    function.path,
+                    arg.lineno,
+                    arg.col_offset,
+                    f"generator expression passed to .{method}() cannot be "
+                    "pickled across the process boundary; materialize a list "
+                    "or tuple first",
+                )
+            for inner in ast.walk(arg):
+                if isinstance(inner, ast.Name) and inner.id in open_handles:
+                    yield _project_diagnostic(
+                        self,
+                        function.path,
+                        inner.lineno,
+                        inner.col_offset,
+                        f"open file handle {inner.id!r} passed to .{method}() "
+                        "cannot be pickled; pass the path and reopen in the "
+                        "worker",
+                    )
+
+    def _check_callable(
+        self,
+        graph: ProjectGraph,
+        module: ModuleInfo,
+        function: FunctionInfo,
+        call: ast.Call,
+        target: ast.expr,
+        method: str,
+    ) -> Iterator[Diagnostic]:
+        if isinstance(target, ast.Lambda):
+            return  # MV008 already owns the lambda finding
+        if isinstance(target, ast.Call):
+            callee = target.func
+            callee_chain = attribute_chain(callee)
+            is_partial = (isinstance(callee, ast.Name) and callee.id == "partial") or (
+                callee_chain is not None and callee_chain[-1] == "partial"
+            )
+            if is_partial and target.args:
+                yield from self._check_callable(
+                    graph, module, function, call, target.args[0], method
+                )
+            return
+        if isinstance(target, ast.Attribute):
+            chain = attribute_chain(target)
+            if chain is None:
+                return
+            root = chain[0]
+            if root in module.imports:
+                return  # module attribute (mod.fn) — picklable by reference
+            if root in module.classes:
+                return  # Class.method — a plain function, picklable
+            yield _project_diagnostic(
+                self,
+                function.path,
+                target.lineno,
+                target.col_offset,
+                f"bound method {'.'.join(chain)!r} passed to .{method}() "
+                "pickles its whole instance (and breaks under spawn when the "
+                "instance holds handles); pass a module-level function plus "
+                "plain-data arguments",
+            )
+            return
+        if isinstance(target, ast.Name):
+            resolved = self._resolve_callable(graph, module, function, target.id)
+            if resolved == "local":
+                yield _project_diagnostic(
+                    self,
+                    function.path,
+                    target.lineno,
+                    target.col_offset,
+                    f"callable {target.id!r} passed to .{method}() is built "
+                    "inside this function and cannot be pickled by a "
+                    "spawn-context worker; hoist it to module level",
+                )
+
+    @staticmethod
+    def _resolve_callable(
+        graph: ProjectGraph, module: ModuleInfo, function: FunctionInfo, name: str
+    ) -> str:
+        """Classify a bare-name submission target.
+
+        Returns ``"module-level"`` (fine), ``"local"`` (finding) or
+        ``"unknown"`` (imported/third-party — give the benefit of the doubt).
+        """
+        if name in module.toplevel_names:
+            return "module-level"
+        if name in module.imports:
+            return "unknown"
+        # a local variable assigned from a lambda / nested def?
+        for node in ast.walk(function.node):
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == name for t in node.targets
+            ):
+                if isinstance(node.value, ast.Lambda):
+                    return "local"
+            elif (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == name
+                and node is not function.node
+            ):
+                return "local"
+        return "unknown"
+
+
+def _open_handle_names(function: FunctionInfo) -> Set[str]:
+    """Local names bound to ``open(...)`` results in this function."""
+    handles: Set[str] = set()
+    for node in ast.walk(function.node):
+        if isinstance(node, ast.Assign):
+            if _is_open_call(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        handles.add(target.id)
+        elif isinstance(node, ast.withitem):
+            if _is_open_call(node.context_expr) and isinstance(
+                node.optional_vars, ast.Name
+            ):
+                handles.add(node.optional_vars.id)
+    return handles
+
+
+def _is_open_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "open"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# MV104
+# ---------------------------------------------------------------------- #
+#: Telemetry hub methods that emit records (see repro.obs.telemetry).
+_EMISSION_METHODS = {"event", "count", "gauge", "observe", "span", "record_span"}
+
+
+@register_rule
+class TelemetryGuardRule(ProjectRule):
+    """MV104: loop-body telemetry emission needs a dominating enabled-guard."""
+
+    rule_id = "MV104"
+    description = (
+        "telemetry emission inside a loop body in replayable packages must "
+        "sit behind a dominating telemetry.enabled guard (directly or via a "
+        "hoisted alias) so the NullTelemetry fast path stays free"
+    )
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Diagnostic]:
+        guard_attrs = _guard_attributes(graph)
+        for module_name in sorted(graph.modules):
+            module = graph.modules[module_name]
+            if not _in_package(module.normalized, REPLAY_PACKAGES):
+                continue
+            class_aliases = _class_guard_aliases(module, guard_attrs)
+            for qualname in sorted(module.functions):
+                function = module.functions[qualname]
+                if function.name == MODULE_BODY:
+                    continue
+                aliases = set(class_aliases.get(function.class_name or "", ()))
+                aliases |= _function_guard_aliases(function, guard_attrs)
+                self._guard_attrs = guard_attrs
+                yield from self._scan_block(
+                    function, function.node.body, aliases, guarded=False, in_loop=False
+                )
+
+    def _scan_block(
+        self,
+        function: FunctionInfo,
+        statements: Sequence[ast.stmt],
+        aliases: Set[str],
+        guarded: bool,
+        in_loop: bool,
+    ) -> Iterator[Diagnostic]:
+        block_guarded = guarded
+        for statement in statements:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # nested scopes are scanned as their own functions
+            if isinstance(statement, ast.If):
+                test_guards = _test_mentions_guard(
+                    statement.test, aliases, self._guard_attrs
+                )
+                yield from self._scan_block(
+                    function, statement.body, aliases, block_guarded or test_guards, in_loop
+                )
+                yield from self._scan_block(
+                    function, statement.orelse, aliases, block_guarded, in_loop
+                )
+                if _is_negated_guard(
+                    statement.test, aliases, self._guard_attrs
+                ) and _always_exits(statement.body):
+                    block_guarded = True  # if not enabled: return/continue
+                continue
+            if isinstance(statement, (ast.For, ast.AsyncFor, ast.While)):
+                yield from self._scan_block(
+                    function, statement.body, aliases, block_guarded, in_loop=True
+                )
+                yield from self._scan_block(
+                    function, statement.orelse, aliases, block_guarded, in_loop
+                )
+                continue
+            if isinstance(statement, ast.Try):
+                for part in (statement.body, statement.orelse, statement.finalbody):
+                    yield from self._scan_block(
+                        function, part, aliases, block_guarded, in_loop
+                    )
+                for handler in statement.handlers:
+                    yield from self._scan_block(
+                        function, handler.body, aliases, block_guarded, in_loop
+                    )
+                continue
+            if isinstance(statement, (ast.With, ast.AsyncWith)):
+                if in_loop and not block_guarded:
+                    for item in statement.items:
+                        yield from self._flag_emissions(function, item.context_expr)
+                yield from self._scan_block(
+                    function, statement.body, aliases, block_guarded, in_loop
+                )
+                continue
+            if in_loop and not block_guarded:
+                yield from self._flag_emissions(function, statement)
+
+    def _flag_emissions(
+        self, function: FunctionInfo, node: ast.AST
+    ) -> Iterator[Diagnostic]:
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            chain = attribute_chain(sub.func)
+            if (
+                chain is not None
+                and len(chain) >= 2
+                and chain[-1] in _EMISSION_METHODS
+                and chain[-2] == "telemetry"
+            ):
+                yield _project_diagnostic(
+                    self,
+                    function.path,
+                    sub.lineno,
+                    sub.col_offset,
+                    f"telemetry emission {'.'.join(chain)}() inside a loop "
+                    "body has no dominating telemetry.enabled guard; hoist "
+                    "'if telemetry.enabled:' so the NullTelemetry path stays "
+                    "free",
+                )
+
+
+def _guard_attributes(graph: ProjectGraph) -> Set[str]:
+    """Attribute names that carry a hoisted ``telemetry.enabled`` value.
+
+    Seeded with ``enabled`` itself, then closed transitively over attribute
+    assignments anywhere in the project: ``self.traced = telemetry.enabled``
+    makes ``traced`` a guard attribute, so ``traced = run.traced`` in another
+    module is recognized as a guard alias too.  Broadening guard recognition
+    only ever *suppresses* findings, so the over-approximation is safe.
+    """
+    guard_attrs: Set[str] = {"enabled"}
+    assignments: List[Tuple[ast.expr, List[str]]] = []
+    for module_name in sorted(graph.modules):
+        for node in ast.walk(graph.modules[module_name].tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            attrs = [t.attr for t in node.targets if isinstance(t, ast.Attribute)]
+            if attrs:
+                assignments.append((node.value, attrs))
+    for _ in range(len(assignments) + 1):  # fixpoint, bounded
+        added = False
+        for value, attrs in assignments:
+            if _mentions_guard(value, set(), guard_attrs):
+                for attr in attrs:
+                    if attr not in guard_attrs:
+                        guard_attrs.add(attr)
+                        added = True
+        if not added:
+            break
+    return guard_attrs
+
+
+def _class_guard_aliases(module: ModuleInfo, guard_attrs: Set[str]) -> Dict[str, Set[str]]:
+    """``self.X`` attributes assigned from a guard expression, per class."""
+    aliases: Dict[str, Set[str]] = {}
+    for qualname in sorted(module.functions):
+        function = module.functions[qualname]
+        if function.class_name is None:
+            continue
+        for node in ast.walk(function.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not _mentions_guard(node.value, set(), guard_attrs):
+                continue
+            for target in node.targets:
+                chain = attribute_chain(target)
+                if chain and chain[0] == "self" and len(chain) == 2:
+                    aliases.setdefault(function.class_name, set()).add(
+                        f"self.{chain[1]}"
+                    )
+    return aliases
+
+
+def _function_guard_aliases(function: FunctionInfo, guard_attrs: Set[str]) -> Set[str]:
+    """Local names assigned from a guard expression (``traced = run.traced``)."""
+    aliases: Set[str] = set()
+    for _ in range(4):  # small local fixpoint: t = traced; u = t
+        added = False
+        for node in ast.walk(function.node):
+            if isinstance(node, ast.Assign) and _mentions_guard(
+                node.value, aliases, guard_attrs
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id not in aliases:
+                        aliases.add(target.id)
+                        added = True
+        if not added:
+            break
+    return aliases
+
+
+def _mentions_guard(node: ast.AST, aliases: Set[str], guard_attrs: Set[str]) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr in guard_attrs:
+            return True
+        if isinstance(sub, ast.Name) and sub.id in aliases:
+            return True
+    return False
+
+
+def _test_mentions_guard(
+    test: ast.expr, aliases: Set[str], guard_attrs: Set[str]
+) -> bool:
+    if _mentions_guard(test, aliases, guard_attrs):
+        return True
+    for sub in ast.walk(test):
+        chain = attribute_chain(sub) if isinstance(sub, ast.Attribute) else None
+        if chain is not None and ".".join(chain) in aliases:
+            return True
+    return False
+
+
+def _is_negated_guard(test: ast.expr, aliases: Set[str], guard_attrs: Set[str]) -> bool:
+    return (
+        isinstance(test, ast.UnaryOp)
+        and isinstance(test.op, ast.Not)
+        and _test_mentions_guard(test.operand, aliases, guard_attrs)
+    )
+
+
+def _always_exits(body: Sequence[ast.stmt]) -> bool:
+    if not body:
+        return False
+    last = body[-1]
+    return isinstance(last, (ast.Return, ast.Continue, ast.Break, ast.Raise))

@@ -556,6 +556,10 @@ class StochasticExploration:
         spawned = reinitialised = 0
         for replica in replicas:
             replica_id = replica.replica_id
+            # Intentionally the same stream as _spawn_replicas: a reseated
+            # replica *continues* its init sequence rather than restarting
+            # it, so replay stays byte-identical across dynamic events.
+            # repro: ignore[MV101]
             init_rng = streams.get(f"replica-{replica_id}-init")
             existing = {thread.cardinality: thread for thread in replica.threads}
             reseated = []

@@ -7,7 +7,10 @@ Usage::
     mvcom fig02 --chain-engine fastpath   # closed-form chain substrate
     mvcom fig10 --parallel --sweep-workers 4  # byte-identical sweep fan-out
     mvcom all                   # run every figure (slow)
-    mvcom lint [paths...]       # static analysis (rules MV001-MV009)
+    mvcom lint [paths...]       # static analysis (rules MV001-MV104)
+    mvcom lint --format sarif   # SARIF 2.1.0 report for CI upload
+    mvcom lint --fix --dry-run  # preview MV004/MV005 autofixes
+    mvcom lint --graph          # dump the call/stream graph
     mvcom solve --trace t.jsonl # one traced SE solve + final PBFT round
     mvcom solve --engine parallel --workers 4   # byte-identical pool run
     mvcom trace summary t.jsonl # render a text report from a trace file
@@ -139,6 +142,14 @@ def run_trace_summary(path: str) -> int:
 
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["lint"]:
+        # Forward everything after 'lint' to the analyzer's own parser so
+        # --format/--fix/--graph/--baseline work without duplicating flags.
+        from repro.analysis.__main__ import main as lint_main
+
+        return lint_main(argv[1:])
+
     parser = argparse.ArgumentParser(prog="mvcom", description="MVCom reproduction experiments")
     parser.add_argument(
         "experiment",
@@ -201,11 +212,6 @@ def main(argv=None) -> int:
     parser.add_argument("--out", metavar="PATH", default=None,
                         help="storm: where to write the shrunk reproducer JSON")
     args = parser.parse_args(argv)
-
-    if args.experiment == "lint":
-        from repro.analysis.__main__ import main as lint_main
-
-        return lint_main(args.paths or ["src"])
 
     if args.experiment == "solve":
         if args.paths:

@@ -1,0 +1,183 @@
+"""Tests for the MV004/MV005 mechanical autofixer (repro.analysis.fixes)."""
+
+import textwrap
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.engine import LintEngine
+from repro.analysis.fixes import fix_source, render_fix_diff
+from repro.analysis.__main__ import main as lint_main
+
+
+def fix(source):
+    return fix_source(textwrap.dedent(source), path="repro/core/demo.py")
+
+
+def lint(source, path="repro/core/demo.py"):
+    return LintEngine(config=AnalysisConfig()).lint_source(source, path=path)
+
+
+class TestMV004Fix:
+    def test_list_default_becomes_none_plus_guard(self):
+        result = fix(
+            """
+            def build(items=[]):
+                items.append(1)
+                return items
+            """
+        )
+        assert result.changed
+        assert "def build(items=None):" in result.source
+        assert "    if items is None:\n        items = []" in result.source
+        # the guard precedes the first use
+        assert result.source.index("if items is None") < result.source.index(
+            "items.append"
+        )
+
+    def test_guard_lands_after_docstring(self):
+        result = fix(
+            '''
+            def build(mapping={}):
+                """Make a mapping."""
+                return mapping
+            '''
+        )
+        lines = result.source.splitlines()
+        doc_index = next(i for i, l in enumerate(lines) if '"""' in l)
+        assert lines[doc_index + 1].strip() == "if mapping is None:"
+
+    def test_kwonly_and_call_defaults(self):
+        result = fix(
+            """
+            def build(*, registry=dict(), items=set()):
+                return registry, items
+            """
+        )
+        assert "registry=None" in result.source and "items=None" in result.source
+        assert "registry = dict()" in result.source
+        assert "items = set()" in result.source
+
+    def test_fixed_source_lints_clean_of_mv004(self):
+        result = fix(
+            """
+            def build(items=[]):
+                return items
+            """
+        )
+        assert not any(d.rule_id == "MV004" for d in lint(result.source))
+
+    def test_single_line_def_reported_unfixable(self):
+        result = fix("def build(items=[]): return items\n")
+        assert not result.changed
+        assert any("single-line" in note for note in result.unfixable)
+
+    def test_immutable_defaults_untouched(self):
+        source = textwrap.dedent(
+            """
+            def build(count=0, name="x", flag=None):
+                return count, name, flag
+            """
+        )
+        result = fix_source(source, path="repro/core/demo.py")
+        assert result.source == source and not result.changed
+
+
+class TestMV005Fix:
+    def test_bare_except_with_real_body_typed(self):
+        result = fix(
+            """
+            def run():
+                try:
+                    return 1
+                except:
+                    print("failed")
+                    return None
+            """
+        )
+        assert "except Exception:" in result.source
+        assert not any(d.rule_id == "MV005" for d in lint(result.source))
+
+    def test_pass_only_bare_except_skipped(self):
+        result = fix(
+            """
+            def run():
+                try:
+                    return 1
+                except:
+                    pass
+            """
+        )
+        assert not result.changed
+        assert any("not mechanically fixable" in note for note in result.unfixable)
+
+    def test_typed_except_untouched(self):
+        source = textwrap.dedent(
+            """
+            def run():
+                try:
+                    return 1
+                except ValueError:
+                    return None
+            """
+        )
+        assert fix_source(source, path="repro/core/demo.py").source == source
+
+
+class TestIdempotence:
+    MESSY = '''
+    def build(items=[], *, mapping={}):
+        """Collect."""
+        items.append(1)
+        return items, mapping
+
+
+    def run():
+        try:
+            return build()
+        except:
+            print("failed")
+            return None
+    '''
+
+    def test_fix_twice_is_byte_identical(self):
+        first = fix(self.MESSY)
+        assert first.changed
+        second = fix_source(first.source, path="repro/core/demo.py")
+        assert not second.changed
+        assert second.source == first.source
+
+    def test_fix_output_parses(self):
+        import ast
+
+        ast.parse(fix(self.MESSY).source)
+
+
+class TestFixCli:
+    def test_dry_run_prints_diff_and_writes_nothing(self, tmp_path, capsys):
+        package = tmp_path / "repro" / "core"
+        package.mkdir(parents=True)
+        target = package / "demo.py"
+        before = "def build(items=[]):\n    return items\n"
+        target.write_text(before)
+        code = lint_main(["--fix", "--dry-run", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-def build(items=[]):" in out
+        assert "+def build(items=None):" in out
+        assert target.read_text() == before
+
+    def test_fix_writes_and_is_idempotent(self, tmp_path, capsys):
+        package = tmp_path / "repro" / "core"
+        package.mkdir(parents=True)
+        target = package / "demo.py"
+        target.write_text("def build(items=[]):\n    return items\n")
+        assert lint_main(["--fix", str(tmp_path)]) == 0
+        first = target.read_text()
+        assert "items=None" in first
+        assert lint_main(["--fix", str(tmp_path)]) == 0
+        assert target.read_text() == first
+        assert "changed 0 file(s)" in capsys.readouterr().out
+
+
+def test_render_fix_diff_labels_paths():
+    diff = render_fix_diff("repro/core/demo.py", "a\n", "b\n")
+    assert diff.startswith("--- a/repro/core/demo.py\n+++ b/repro/core/demo.py\n")

@@ -539,6 +539,15 @@ class TestConfig:
         config = load_config()
         assert config.source is not None  # found the repo's pyproject.toml
 
+    def test_baseline_key_resolves_relative_to_pyproject(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            '[tool.repro.analysis]\nbaseline = "lint-baseline.json"\n'
+        )
+        config = load_config(pyproject_path=str(pyproject))
+        assert config.baseline == "lint-baseline.json"
+        assert config.baseline_path() == str(tmp_path / "lint-baseline.json")
+
     def test_toml_subset_fallback_parser(self):
         # The 3.9/3.10 path (no tomllib); must decode the config shapes we use.
         from repro.analysis.config import _parse_toml_subset
@@ -609,3 +618,206 @@ class TestTreeAndCli:
     def test_syntax_error_reported_not_raised(self):
         diagnostics = LintEngine(config=ALL_RULES).lint_source("def broken(:\n", path="x.py")
         assert diagnostics and diagnostics[0].rule_id == "MV000"
+
+
+# ---------------------------------------------------------------------- #
+# audit regressions: scope confinement and partial unwrapping
+# ---------------------------------------------------------------------- #
+class TestMV003Audit:
+    def test_star_and_doublestar_rng_flagged_as_packing(self):
+        bad = """
+        def fanout(*rng):
+            return rng
+
+
+        def gather(**rng):
+            return rng
+        """
+        findings = [d for d in lint(bad) if d.rule_id == "MV003"]
+        assert [d.line for d in findings] == [2, 6]
+        assert all("packs arguments" in d.message for d in findings)
+
+    def test_nested_global_rng_call_blamed_once_on_inner_scope(self):
+        # Both outer and inner take ``rng``; the np.random call lives in
+        # inner.  The old whole-tree walk reported it for BOTH functions.
+        bad = """
+        import numpy as np
+
+
+        def outer(rng: np.random.Generator):
+            def inner(rng: np.random.Generator):
+                return np.random.random()
+
+            return inner
+        """
+        findings = [
+            d for d in lint(bad) if d.rule_id == "MV003" and "also calls" in d.message
+        ]
+        assert len(findings) == 1
+        assert "inner()" in findings[0].message
+
+
+class TestMV008Audit:
+    def test_partial_wrapped_closure_flagged(self):
+        bad = """
+        from concurrent.futures import ProcessPoolExecutor
+        from functools import partial
+
+
+        def run():
+            def task(x):
+                return x
+
+            with ProcessPoolExecutor() as pool:
+                return pool.submit(partial(task, 1))
+        """
+        findings = [d for d in lint(bad) if d.rule_id == "MV008"]
+        assert len(findings) == 1
+        assert "via functools.partial" in findings[0].message
+
+    def test_module_level_name_collision_is_not_a_false_positive(self):
+        # ``other`` defines a local ``task``; that must not poison the
+        # module-level ``task`` that ``run`` legitimately submits.
+        good = """
+        from concurrent.futures import ProcessPoolExecutor
+
+
+        def task(x):
+            return x
+
+
+        def run():
+            with ProcessPoolExecutor() as pool:
+                return pool.submit(task, 1)
+
+
+        def other():
+            def task(y):
+                return y
+
+            return task
+        """
+        assert rule_hits(lint(good), "MV008") == []
+
+
+class TestMV009Audit:
+    def test_function_local_shadow_does_not_silence_module_wide(self):
+        # ``compute`` rebinds hash locally; ``key`` still calls the builtin.
+        # The old whole-tree binding collection silenced the entire module.
+        bad = """
+        def compute(obj, custom):
+            hash = custom
+            return hash(obj)
+
+
+        def key(obj):
+            return hash(obj)
+        """
+        hits = rule_hits(lint(bad, path="repro/chain/pbft.py"), "MV009")
+        assert hits == [(8, "MV009")]
+
+    def test_module_level_rebinding_applies_everywhere(self):
+        good = """
+        from repro.sim.util import stable_digest as hash
+
+
+        def key(obj):
+            return hash(obj)
+        """
+        assert rule_hits(lint(good, path="repro/chain/pbft.py"), "MV009") == []
+
+
+# ---------------------------------------------------------------------- #
+# pragmas on per-file rules
+# ---------------------------------------------------------------------- #
+class TestPragmas:
+    def test_same_line_pragma_suppresses_named_rule(self):
+        source = "def build(items=[]):  # repro: ignore[MV004]\n    return items\n"
+        assert lint(source) == []
+
+    def test_pragma_for_other_rule_does_not_suppress(self):
+        source = "def build(items=[]):  # repro: ignore[MV005]\n    return items\n"
+        assert rule_hits(lint(source), "MV004") == [(1, "MV004")]
+
+    def test_comment_only_pragma_line_covers_next_line(self):
+        source = (
+            "# repro: ignore[MV004, MV005]\n"
+            "def build(items=[]):\n"
+            "    return items\n"
+        )
+        assert lint(source) == []
+
+
+# ---------------------------------------------------------------------- #
+# tomllib-fallback parser edge cases (3.9/3.10 path)
+# ---------------------------------------------------------------------- #
+class TestTomlSubsetEdgeCases:
+    def _section(self, text):
+        from repro.analysis.config import _parse_toml_subset
+
+        parsed = _parse_toml_subset(textwrap.dedent(text))
+        return parsed.get("tool", {}).get("repro", {}).get("analysis", {})
+
+    def test_per_rule_ignore_globs_round_trip(self):
+        section = self._section(
+            """
+            [tool.repro.analysis.per-rule-ignore]
+            MV004 = ["repro/core/legacy/*", "vendored/*"]
+            """
+        )
+        config = config_from_section(section)
+        assert config.path_ignored("repro/core/legacy/x.py", "MV004")
+        assert not config.path_ignored("repro/core/legacy/x.py", "MV001")
+        assert not config.path_ignored("repro/core/fresh/x.py", "MV004")
+
+    def test_duplicate_keys_last_wins(self):
+        # tomllib rejects duplicates outright; the lenient fallback takes
+        # the final assignment so a hand-edited file still lints.
+        section = self._section(
+            """
+            [tool.repro.analysis]
+            disable = ["MV001"]
+            disable = ["MV006"]
+            """
+        )
+        assert section["disable"] == ["MV006"]
+
+    def test_reopened_table_headers_merge(self):
+        section = self._section(
+            """
+            [tool.repro.analysis]
+            disable = ["MV006"]
+
+            [tool.other]
+            x = 1
+
+            [tool.repro.analysis]
+            ignore = ["vendored/*"]
+            """
+        )
+        assert section["disable"] == ["MV006"]
+        assert section["ignore"] == ["vendored/*"]
+
+    def test_malformed_scalar_table_clash_is_not_fatal(self):
+        # ``disable`` is a list; reopening it as a table must not raise and
+        # must not clobber the decoded list.
+        section = self._section(
+            """
+            [tool.repro.analysis]
+            disable = ["MV006"]
+
+            [tool.repro.analysis.disable.extra]
+            x = 1
+            """
+        )
+        assert section["disable"] == ["MV006"]
+
+    def test_garbage_lines_skipped(self):
+        section = self._section(
+            """
+            [tool.repro.analysis]
+            this line is not toml at all )(
+            disable = ["MV006"]
+            """
+        )
+        assert section["disable"] == ["MV006"]

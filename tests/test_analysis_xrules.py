@@ -1,0 +1,540 @@
+"""Tests for the cross-module MV1xx rules (repro.analysis.rules_graph)."""
+
+import textwrap
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.engine import LintEngine
+from repro.analysis.graph import build_graph_from_sources
+from repro.analysis.streamkeys import (
+    pattern_from_expr,
+    patterns_can_unify,
+)
+import ast
+
+ALL_RULES = AnalysisConfig()
+
+
+def xlint(files, config=ALL_RULES):
+    """Lint a {path: source} fixture set with per-file AND project rules."""
+    engine = LintEngine(config=config)
+    return engine.lint_sources(
+        {path: textwrap.dedent(source) for path, source in files.items()}
+    )
+
+
+def rule_hits(diagnostics, rule_id):
+    return [d for d in diagnostics if d.rule_id == rule_id]
+
+
+def pattern(expr_source):
+    return pattern_from_expr(ast.parse(expr_source, mode="eval").body)
+
+
+# ---------------------------------------------------------------------- #
+# key-pattern unification
+# ---------------------------------------------------------------------- #
+class TestPatternUnification:
+    def test_identical_literals_unify(self):
+        assert patterns_can_unify(pattern("'leave-reinit'"), pattern("'leave-reinit'"))
+
+    def test_distinct_literals_do_not(self):
+        assert not patterns_can_unify(pattern("'pow'"), pattern("'pbft'"))
+
+    def test_template_matches_literal_instance(self):
+        assert patterns_can_unify(
+            pattern("f'replica-{rid}-init'"), pattern("'replica-7-init'")
+        )
+
+    def test_holes_do_not_span_dashes(self):
+        # The PR 5 '-n{c}' vs '-dyn-n{c}' suffixes must stay disjoint: holes
+        # never produce '-' so the extra '-dyn' segment cannot be absorbed.
+        assert not patterns_can_unify(
+            pattern("f'replica-{rid}-n{c}'"),
+            pattern("f'replica-{rid}-dyn-n{c}'"),
+        )
+
+    def test_same_template_unifies_with_itself(self):
+        assert patterns_can_unify(
+            pattern("f'replica-{rid}-init'"), pattern("f'replica-{rid}-init'")
+        )
+
+
+# ---------------------------------------------------------------------- #
+# MV101 stream collisions
+# ---------------------------------------------------------------------- #
+#: The PR 3 bug, reconstructed across two modules: every replica in the
+#: leave-loop drew from ONE shared "leave-reinit" stream.
+PR3_LEAVE_REINIT = {
+    "repro/core/dynamics.py": """
+    def apply_leave(instance, replicas, streams):
+        for replica in replicas:
+            rng = streams.get("leave-reinit")
+            replica.reinitialize(instance, rng)
+    """,
+    "repro/core/driver.py": """
+    from repro.sim.rng import RandomStreams
+
+    from repro.core.dynamics import apply_leave
+
+    def solve(seed, replicas):
+        streams = RandomStreams(seed)
+        apply_leave(None, replicas, streams)
+    """,
+    "repro/sim/rng.py": """
+    class RandomStreams:
+        def __init__(self, seed):
+            self.seed = seed
+
+        def get(self, name):
+            return name
+    """,
+}
+
+
+class TestMV101:
+    def test_pr3_leave_reinit_bug_is_flagged_with_call_path(self):
+        hits = rule_hits(xlint(PR3_LEAVE_REINIT), "MV101")
+        assert len(hits) == 1
+        finding = hits[0]
+        assert finding.path == "repro/core/dynamics.py"
+        assert "'leave-reinit'" in finding.message
+        # the colliding call path is named in the diagnostic
+        assert "solve -> apply_leave" in finding.message
+
+    def test_pragma_suppresses_the_finding(self):
+        files = dict(PR3_LEAVE_REINIT)
+        files["repro/core/dynamics.py"] = """
+        def apply_leave(instance, replicas, streams):
+            for replica in replicas:
+                rng = streams.get("leave-reinit")  # repro: ignore[MV101]
+                replica.reinitialize(instance, rng)
+        """
+        assert rule_hits(xlint(files), "MV101") == []
+
+    def test_per_replica_key_is_clean(self):
+        files = dict(PR3_LEAVE_REINIT)
+        files["repro/core/dynamics.py"] = """
+        def apply_leave(instance, replicas, streams):
+            for replica in replicas:
+                rng = streams.get(f"replica-{replica.replica_id}-leave")
+                replica.reinitialize(instance, rng)
+        """
+        assert rule_hits(xlint(files), "MV101") == []
+
+    def test_loop_local_fork_is_clean(self):
+        # A fresh child registry per iteration is a fresh key space.
+        files = {
+            "repro/core/epochs.py": """
+            def run(epochs, streams):
+                for epoch in epochs:
+                    child = streams.fork(f"epoch-{epoch}")
+                    rng = child.get("blocks")
+                    rng2 = child.get("shards")
+            """
+        }
+        assert rule_hits(xlint(files), "MV101") == []
+
+    def test_cross_site_same_literal_key_collides(self):
+        files = {
+            "repro/core/two.py": """
+            def first(streams):
+                return streams.get("shared-key")
+
+            def second(streams):
+                return streams.get("shared-key")
+            """
+        }
+        hits = rule_hits(xlint(files), "MV101")
+        assert len(hits) == 1
+        assert "can unify" in hits[0].message
+
+    def test_cross_site_distinct_keys_clean(self):
+        files = {
+            "repro/core/two.py": """
+            def first(streams):
+                return streams.get("pow")
+
+            def second(streams):
+                return streams.get("pbft")
+            """
+        }
+        assert rule_hits(xlint(files), "MV101") == []
+
+    def test_rng_module_itself_is_exempt(self):
+        files = {
+            "repro/sim/rng.py": """
+            def spawn_rng(seed, name):
+                return (seed, name)
+
+            def helper(streams):
+                for i in range(3):
+                    streams.get("fixed")
+            """
+        }
+        assert rule_hits(xlint(files), "MV101") == []
+
+
+# ---------------------------------------------------------------------- #
+# MV102 transitive wall-clock / entropy taint
+# ---------------------------------------------------------------------- #
+class TestMV102:
+    def test_transitive_wall_clock_flagged_with_chain(self):
+        files = {
+            "repro/core/solver.py": """
+            from repro.core.util import stamp
+
+            def solve():
+                return stamp()
+            """,
+            "repro/core/util.py": """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+        }
+        hits = rule_hits(xlint(files), "MV102")
+        assert [d.path for d in hits] == ["repro/core/solver.py"]
+        assert "time.time" in hits[0].message
+        assert "solve -> stamp" in hits[0].message
+
+    def test_direct_sink_left_to_mv002(self):
+        files = {
+            "repro/core/util.py": """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        }
+        diagnostics = xlint(files)
+        assert rule_hits(diagnostics, "MV102") == []
+        assert rule_hits(diagnostics, "MV002")  # per-file rule owns it
+
+    def test_transitive_entropy_flagged(self):
+        files = {
+            "repro/core/solver.py": """
+            from repro.core.ids import fresh_id
+
+            def solve():
+                return fresh_id()
+            """,
+            "repro/core/ids.py": """
+            import os
+
+            def fresh_id():
+                return os.urandom(8)
+            """,
+        }
+        hits = rule_hits(xlint(files), "MV102")
+        assert [d.path for d in hits] == ["repro/core/solver.py"]
+        assert "os.urandom" in hits[0].message
+
+    def test_rng_module_streams_are_not_taint_sources(self):
+        files = {
+            "repro/core/solver.py": """
+            from repro.sim.rng import spawn_rng
+
+            def solve(seed):
+                return spawn_rng(seed, "se").random()
+            """,
+            "repro/sim/rng.py": """
+            import random
+
+            def spawn_rng(seed, name):
+                return random.Random(seed)
+            """,
+        }
+        assert rule_hits(xlint(files), "MV102") == []
+
+    def test_non_replay_packages_not_flagged(self):
+        files = {
+            "repro/obs/report.py": """
+            from repro.obs.clock import now
+
+            def render():
+                return now()
+            """,
+            "repro/obs/clock.py": """
+            import time
+
+            def now():
+                return time.time()
+            """,
+        }
+        assert rule_hits(xlint(files), "MV102") == []
+
+
+# ---------------------------------------------------------------------- #
+# MV103 pickling reachability
+# ---------------------------------------------------------------------- #
+_EXECUTOR_PRELUDE = """
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+"""
+
+
+class TestMV103:
+    def run_case(self, body):
+        files = {
+            "repro/core/pool.py": _EXECUTOR_PRELUDE + textwrap.dedent(body)
+        }
+        return xlint(files)
+
+    def test_bound_method_flagged(self):
+        hits = rule_hits(
+            self.run_case(
+                """
+                class Driver:
+                    def work(self, x):
+                        return x
+
+                    def run(self, pool, items):
+                        return pool.map(self.work, items)
+                """
+            ),
+            "MV103",
+        )
+        assert len(hits) == 1 and "bound method" in hits[0].message
+
+    def test_partial_wrapping_bound_method_flagged(self):
+        hits = rule_hits(
+            self.run_case(
+                """
+                class Driver:
+                    def work(self, x, y):
+                        return x + y
+
+                    def run(self, pool, items):
+                        return pool.map(partial(self.work, 1), items)
+                """
+            ),
+            "MV103",
+        )
+        assert len(hits) == 1 and "bound method" in hits[0].message
+
+    def test_generator_expression_argument_flagged(self):
+        hits = rule_hits(
+            self.run_case(
+                """
+                def work(x):
+                    return x
+
+                def run(pool, items):
+                    return pool.map(work, (i * 2 for i in items))
+                """
+            ),
+            "MV103",
+        )
+        assert len(hits) == 1 and "generator expression" in hits[0].message
+
+    def test_open_handle_argument_flagged(self):
+        hits = rule_hits(
+            self.run_case(
+                """
+                def work(x):
+                    return x
+
+                def run(pool, path):
+                    with open(path) as handle:
+                        return pool.submit(work, handle)
+                """
+            ),
+            "MV103",
+        )
+        assert len(hits) == 1 and "open file handle" in hits[0].message
+
+    def test_module_level_callable_clean(self):
+        hits = rule_hits(
+            self.run_case(
+                """
+                def work(x):
+                    return x
+
+                def run(pool, items):
+                    return pool.map(work, list(items))
+                """
+            ),
+            "MV103",
+        )
+        assert hits == []
+
+    def test_local_lambda_name_flagged(self):
+        hits = rule_hits(
+            self.run_case(
+                """
+                def run(pool, items):
+                    work = lambda x: x
+                    return pool.map(work, items)
+                """
+            ),
+            "MV103",
+        )
+        assert len(hits) == 1 and "built inside this function" in hits[0].message
+
+    def test_class_staticmethod_reference_clean(self):
+        hits = rule_hits(
+            self.run_case(
+                """
+                class Kernel:
+                    @staticmethod
+                    def work(x):
+                        return x
+
+                def run(pool, items):
+                    return pool.map(Kernel.work, items)
+                """
+            ),
+            "MV103",
+        )
+        assert hits == []
+
+
+# ---------------------------------------------------------------------- #
+# MV104 telemetry-guard flow
+# ---------------------------------------------------------------------- #
+class TestMV104:
+    def test_unguarded_loop_emission_flagged(self):
+        files = {
+            "repro/core/loop.py": """
+            def run(items, telemetry):
+                for item in items:
+                    telemetry.event("se.step", item=item)
+            """
+        }
+        hits = rule_hits(xlint(files), "MV104")
+        assert len(hits) == 1
+        assert "telemetry.event" in hits[0].message
+
+    def test_direct_enabled_guard_clean(self):
+        files = {
+            "repro/core/loop.py": """
+            def run(items, telemetry):
+                for item in items:
+                    if telemetry.enabled:
+                        telemetry.event("se.step", item=item)
+            """
+        }
+        assert rule_hits(xlint(files), "MV104") == []
+
+    def test_hoisted_local_alias_clean(self):
+        files = {
+            "repro/core/loop.py": """
+            def run(items, telemetry):
+                traced = telemetry.enabled
+                for item in items:
+                    if traced:
+                        telemetry.event("se.step", item=item)
+            """
+        }
+        assert rule_hits(xlint(files), "MV104") == []
+
+    def test_cross_module_hoisted_attribute_clean(self):
+        # engine.py pattern: the guard was hoisted onto another object in a
+        # different module; the flow pass follows the attribute name.
+        files = {
+            "repro/obs/run.py": """
+            class EngineRun:
+                def __init__(self, telemetry):
+                    self.telemetry = telemetry
+                    self.traced = telemetry.enabled
+            """,
+            "repro/core/loop.py": """
+            def run_serial(run, items):
+                telemetry = run.telemetry
+                traced = run.traced
+                for item in items:
+                    if traced:
+                        telemetry.event("se.step", item=item)
+            """,
+        }
+        assert rule_hits(xlint(files), "MV104") == []
+
+    def test_early_exit_guard_clean(self):
+        files = {
+            "repro/core/loop.py": """
+            def run(items, telemetry):
+                if not telemetry.enabled:
+                    return
+                for item in items:
+                    telemetry.event("se.step", item=item)
+            """
+        }
+        assert rule_hits(xlint(files), "MV104") == []
+
+    def test_emission_outside_loop_clean(self):
+        files = {
+            "repro/core/loop.py": """
+            def run(telemetry):
+                telemetry.event("se.start")
+            """
+        }
+        assert rule_hits(xlint(files), "MV104") == []
+
+    def test_non_replay_package_clean(self):
+        files = {
+            "repro/obs/report.py": """
+            def render(records, telemetry):
+                for record in records:
+                    telemetry.event("report.row")
+            """
+        }
+        assert rule_hits(xlint(files), "MV104") == []
+
+
+# ---------------------------------------------------------------------- #
+# engine plumbing for the project pass
+# ---------------------------------------------------------------------- #
+class TestEnginePlumbing:
+    def test_lint_source_never_runs_project_rules(self):
+        engine = LintEngine(config=ALL_RULES)
+        source = textwrap.dedent(
+            """
+            def run(items, telemetry):
+                for item in items:
+                    telemetry.event("se.step")
+            """
+        )
+        assert engine.lint_source(source, path="repro/core/loop.py") == []
+
+    def test_project_rules_respect_per_rule_ignores(self):
+        config = AnalysisConfig(per_rule_ignores={"MV104": ["repro/core/*"]})
+        files = {
+            "repro/core/loop.py": """
+            def run(items, telemetry):
+                for item in items:
+                    telemetry.event("se.step")
+            """
+        }
+        assert rule_hits(xlint(files, config=config), "MV104") == []
+
+    def test_comment_line_pragma_applies_to_next_line(self):
+        files = {
+            "repro/core/loop.py": """
+            def run(items, telemetry):
+                for item in items:
+                    # repro: ignore[MV104]
+                    telemetry.event("se.step")
+            """
+        }
+        assert rule_hits(xlint(files), "MV104") == []
+
+    def test_graph_dump_lists_stream_sites(self):
+        from repro.analysis.output import render_graph
+
+        graph = build_graph_from_sources(
+            {
+                "repro/core/a.py": (
+                    "repro/core/a.py",
+                    textwrap.dedent(
+                        """
+                        def run(streams):
+                            return streams.get("pow")
+                        """
+                    ),
+                )
+            }
+        )
+        dump = render_graph(graph)
+        assert "# stream key sites (1)" in dump
+        assert "'pow'" in dump
