@@ -1,6 +1,6 @@
 """Telemetry overhead on the SE hot path (acceptance gate for repro.obs).
 
-Two claims, both on a 100-committee solve:
+Three claims, all on a 100-committee solve:
 
 1. **Determinism** -- with the default ``NULL_TELEMETRY`` and with a live
    hub attached, ``StochasticExploration.solve`` returns byte-identical
@@ -11,6 +11,11 @@ Two claims, both on a 100-committee solve:
    counter increment and a ``last_swap`` tuple assignment per fired
    replica.  We micro-time those very operations at the solve's measured
    round/firing counts and bound their share of the solve wall time.
+3. **Enabled-path + aggregation overhead < 10%** -- a live hub fanning
+   into a streaming :class:`~repro.obs.metrics.MetricsAggregator` sink
+   (sketch adds, rate bookkeeping, windowed means on every record) stays
+   within 10% of the Null solve, so ``mvcom serve``-style always-on
+   metrics are affordable.
 """
 
 import time
@@ -19,6 +24,7 @@ import numpy as np
 
 from repro.core.se import SEConfig, StochasticExploration
 from repro.data.workload import WorkloadConfig, generate_epoch_workload
+from repro.obs.metrics import MetricsAggregator
 from repro.obs.sinks import RingBufferSink
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 
@@ -37,13 +43,22 @@ def _solve(instance, telemetry=NULL_TELEMETRY):
     return StochasticExploration(CONFIG, telemetry=telemetry).solve(instance)
 
 
-def _best_of(n, fn):
-    best = float("inf")
+def _best_interleaved(n, fns):
+    """Best-of-``n`` for several paths, measured round-robin.
+
+    Interleaving keeps a transient load spike from landing entirely on one
+    path's measurements, which matters for the relative-overhead asserts
+    on a busy shared box.
+    """
+    bests = [float("inf")] * len(fns)
     for _ in range(n):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
+        for index, fn in enumerate(fns):
+            start = time.perf_counter()
+            fn()
+            elapsed = time.perf_counter() - start
+            if elapsed < bests[index]:
+                bests[index] = elapsed
+    return bests
 
 
 def test_se_telemetry_determinism_and_overhead(perf_recorder):
@@ -61,8 +76,14 @@ def test_se_telemetry_determinism_and_overhead(perf_recorder):
     assert len(ring) > 0, "live hub captured nothing"
 
     # -- claim 2: Null-path instrumentation cost < 5% of the solve -------
-    null_s = _best_of(5, lambda: _solve(instance))
-    live_s = _best_of(5, lambda: _solve(instance, telemetry=Telemetry(sinks=[RingBufferSink()])))
+    null_s, live_s, metrics_s = _best_interleaved(
+        5,
+        [
+            lambda: _solve(instance),
+            lambda: _solve(instance, telemetry=Telemetry(sinks=[RingBufferSink()])),
+            lambda: _solve(instance, telemetry=Telemetry(sinks=[MetricsAggregator()])),
+        ],
+    )
 
     # Replay the Null path's added work at the measured scale: per round one
     # guard load + counter reset, per firing one increment + one tuple store.
@@ -86,6 +107,16 @@ def test_se_telemetry_determinism_and_overhead(perf_recorder):
         f"{NUM_COMMITTEES}-committee solve (budget: 5%)"
     )
 
+    # -- claim 3: live hub + streaming MetricsAggregator sink < 10% ------
+    metrics_overhead_pct = 100.0 * max(0.0, metrics_s - null_s) / null_s
+    assert metrics_overhead_pct < 10.0, (
+        f"live hub + MetricsAggregator costs {metrics_overhead_pct:.2f}% over "
+        f"the Null solve on {NUM_COMMITTEES} committees (budget: 10%)"
+    )
+    aggregator = MetricsAggregator()
+    _solve(instance, telemetry=Telemetry(sinks=[aggregator]))
+    aggregated_series = len(aggregator.snapshot()["series"])
+
     perf_recorder(
         "se_convergence_100c",
         wall_s=null_s,
@@ -95,10 +126,15 @@ def test_se_telemetry_determinism_and_overhead(perf_recorder):
         traced_wall_s=live_s,
         traced_records=len(ring),
         null_overhead_pct=round(overhead_pct, 4),
+        metrics_wall_s=metrics_s,
+        metrics_overhead_pct=round(metrics_overhead_pct, 4),
+        metrics_series=aggregated_series,
         firings=firings,
     )
     print()
     print(
         f"100-committee solve: null={null_s * 1e3:.1f}ms  live={live_s * 1e3:.1f}ms  "
-        f"null-path overhead={overhead_pct:.3f}%  records={len(ring)}"
+        f"metrics={metrics_s * 1e3:.1f}ms  null-path overhead={overhead_pct:.3f}%  "
+        f"metrics overhead={metrics_overhead_pct:.2f}%  records={len(ring)}  "
+        f"series={aggregated_series}"
     )

@@ -132,6 +132,14 @@ def config_from_section(section: dict, source: Optional[str] = None) -> Analysis
     )
 
 
+def parse_toml(text: str) -> dict:
+    """Decode TOML text: :mod:`tomllib` when available, the subset parser
+    below otherwise.  Public so other config consumers (e.g. the SLO specs
+    in :mod:`repro.obs.slo`) share one 3.9-safe parser instead of growing
+    their own."""
+    return _parse_toml(text)
+
+
 def _parse_toml(text: str) -> dict:
     if _toml is not None:
         return _toml.loads(text)

@@ -128,8 +128,13 @@ class FinalCommittee:
             # TXs waited ddl - latency seconds (Fig. 3's cumulative age).
             telemetry.record_span("chain.final.arrival_window", 0.0, instance.ddl,
                                   epoch=self.committee.epoch, arrived=len(arrived))
+            # Tagged per epoch so the metrics aggregator keys an age-percentile
+            # series per final-consensus round (SLO: p99 age vs the paper's
+            # cumulative-age objective) alongside the cross-epoch aggregate.
             for age in instance.ages[mask]:
-                telemetry.observe("chain.mempool.age_s", float(age))
+                telemetry.observe(
+                    "chain.mempool.age_s", float(age), epoch=self.committee.epoch
+                )
             telemetry.event(
                 "chain.final.commit",
                 epoch=self.committee.epoch,

@@ -14,6 +14,9 @@ Usage::
     mvcom solve --trace t.jsonl # one traced SE solve + final PBFT round
     mvcom solve --engine parallel --workers 4   # byte-identical pool run
     mvcom trace summary t.jsonl # render a text report from a trace file
+    mvcom trace metrics t.jsonl # streaming aggregate: p50/p99, rates, SLOs
+    mvcom trace export t.jsonl --format perfetto --out t.perfetto.json
+    mvcom trace diff a.jsonl b.jsonl --fail-above 5  # regression gate
     mvcom storm --seed 13       # churn-storm fault injection (repro.faultinject)
     mvcom storm --replay r.json # replay a shrunk storm reproducer
 """
@@ -110,6 +113,7 @@ def run_traced_solve(args) -> int:
         engine=args.engine,
         num_workers=args.workers,
         chain_engine=args.chain_engine or "des",
+        resources=args.resources,
     )
     result = run.result
     print(
@@ -140,6 +144,115 @@ def run_trace_summary(path: str) -> int:
     return 0
 
 
+def _metric_rows(snapshot: dict) -> list:
+    """Flatten an aggregate snapshot into table rows (sorted series)."""
+    rows = []
+    for key, stats in snapshot["series"].items():
+        kind, _, rest = key.partition("|")
+        name, _, tag = rest.partition("|")
+        row = {"kind": kind, "metric": name, "tag": tag, "count": stats["count"]}
+        for stat in ("mean", "p50", "p90", "p99", "total", "rate", "last"):
+            if stat in stats:
+                row[stat] = round(float(stats[stat]), 6)
+        rows.append(row)
+    return rows
+
+
+def run_trace_metrics(path: str, args) -> int:
+    """``mvcom trace metrics PATH``: streaming aggregate report (+ SLOs)."""
+    from repro.obs.metrics import MetricsAggregator
+    from repro.obs.slo import SloTracker, load_slo_specs
+    from repro.obs.sinks import iter_jsonl
+
+    aggregator = MetricsAggregator()
+    tracker = None
+    if args.slo:
+        specs = load_slo_specs()
+        tracker = SloTracker(specs, aggregator)
+        print(f"SLO specs loaded: {len(specs)}")
+    for record in iter_jsonl(path):
+        aggregator.emit(record)
+        if tracker is not None:
+            tracker.emit(record)
+    snapshot = aggregator.snapshot()
+    print(f"trace metrics: {snapshot['records']} records, "
+          f"{len(snapshot['series'])} series")
+    print(render_table(_metric_rows(snapshot), title="Aggregated metric series"))
+    if args.out:
+        aggregator.write_snapshot(args.out)
+        print(f"[aggregate snapshot written to {args.out}]")
+    if tracker is not None:
+        violations = tracker.check()
+        if violations:
+            print(render_table(violations, title="SLO violations"))
+            return 1
+        print("SLOs: all passing")
+    return 0
+
+
+def run_trace_export(path: str, args, parser) -> int:
+    """``mvcom trace export PATH --format {perfetto,openmetrics}``."""
+    if args.format is None:
+        parser.error("trace export requires --format {perfetto,openmetrics}")
+    from repro.obs.sinks import iter_jsonl
+
+    if args.format == "perfetto":
+        from repro.obs.export import write_perfetto
+
+        out = args.out or (path + ".perfetto.json")
+        written = write_perfetto(iter_jsonl(path), out)
+        print(f"[{written} trace events written to {out}]")
+    else:
+        from repro.obs.export import write_openmetrics
+        from repro.obs.metrics import MetricsAggregator
+
+        out = args.out or (path + ".prom")
+        aggregator = MetricsAggregator.from_jsonl(path)
+        write_openmetrics(aggregator, out)
+        print(f"[{len(aggregator.snapshot()['series'])} series exposed to {out}]")
+    return 0
+
+
+def run_trace_diff(baseline_path: str, candidate_path: str, args) -> int:
+    """``mvcom trace diff A B``: per-metric deltas with a regression gate.
+
+    ``A``/``B`` are JSONL traces or aggregate snapshots (``trace metrics
+    --out``); a relative delta above ``--fail-above`` percent (or a series
+    present on only one side) exits non-zero.
+    """
+    from repro.obs.metrics import diff_snapshots, load_aggregate
+
+    baseline = load_aggregate(baseline_path)
+    candidate = load_aggregate(candidate_path)
+    rows, breaches = diff_snapshots(
+        baseline,
+        candidate,
+        threshold=args.fail_above,
+        include_wall=args.include_wall,
+    )
+    changed = [row for row in rows if row["delta_pct"] > 0]
+    print(
+        f"trace diff: {len(rows)} compared stats, {len(changed)} changed, "
+        f"{len(breaches)} above the {args.fail_above:g}% threshold"
+    )
+    if changed:
+        display = []
+        for row in sorted(changed, key=lambda entry: -entry["delta_pct"])[: args.top]:
+            row = dict(row)
+            row["delta_pct"] = round(row["delta_pct"], 4)
+            if isinstance(row["baseline"], float):
+                row["baseline"] = round(row["baseline"], 6)
+                row["candidate"] = round(row["candidate"], 6)
+            display.append(row)
+        print(render_table(display, title="Largest per-metric deltas"))
+    else:
+        print("zero deltas: runs aggregate identically")
+    if breaches:
+        print(f"REGRESSION: {len(breaches)} stat(s) breached the threshold")
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -161,7 +274,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "paths",
         nargs="*",
-        help="paths to lint (lint) or 'summary PATH' (trace)",
+        help="paths to lint (lint) or '{summary,metrics,export,diff} PATH...' (trace)",
     )
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="solve: write the telemetry stream to this JSONL file")
@@ -210,7 +323,25 @@ def main(argv=None) -> int:
     parser.add_argument("--replay", metavar="PATH", default=None,
                         help="storm: replay a reproducer JSON instead of generating")
     parser.add_argument("--out", metavar="PATH", default=None,
-                        help="storm: where to write the shrunk reproducer JSON")
+                        help="storm: shrunk-reproducer JSON path; trace "
+                        "metrics/export: output file for the aggregate "
+                        "snapshot / exported trace")
+    parser.add_argument("--resources", action="store_true",
+                        help="solve: emit the harness-only obs.resources "
+                        "gauge (peak RSS + CPU times) at span close")
+    parser.add_argument("--format", choices=["perfetto", "openmetrics"],
+                        default=None, dest="format",
+                        help="trace export: output format (Chrome/Perfetto "
+                        "trace_event JSON or OpenMetrics textfile)")
+    parser.add_argument("--slo", action="store_true",
+                        help="trace metrics: evaluate [tool.repro.obs.slo] "
+                        "specs from pyproject.toml; non-zero exit on violation")
+    parser.add_argument("--fail-above", type=float, default=0.0, metavar="PCT",
+                        help="trace diff: relative per-stat regression "
+                        "threshold in percent (default 0: any delta fails)")
+    parser.add_argument("--include-wall", action="store_true",
+                        help="trace diff: also compare wall-clock span "
+                        "series (machine-dependent; off by default)")
     args = parser.parse_args(argv)
 
     if args.experiment == "solve":
@@ -219,9 +350,21 @@ def main(argv=None) -> int:
         return run_traced_solve(args)
 
     if args.experiment == "trace":
-        if len(args.paths) != 2 or args.paths[0] != "summary":
-            parser.error("usage: mvcom trace summary PATH")
-        return run_trace_summary(args.paths[1])
+        verb = args.paths[0] if args.paths else None
+        if verb == "summary" and len(args.paths) == 2:
+            return run_trace_summary(args.paths[1])
+        if verb == "metrics" and len(args.paths) == 2:
+            return run_trace_metrics(args.paths[1], args)
+        if verb == "export" and len(args.paths) == 2:
+            return run_trace_export(args.paths[1], args, parser)
+        if verb == "diff" and len(args.paths) == 3:
+            return run_trace_diff(args.paths[1], args.paths[2], args)
+        parser.error(
+            "usage: mvcom trace summary PATH | trace metrics PATH "
+            "[--slo] [--out AGG.json] | trace export PATH --format "
+            "{perfetto,openmetrics} [--out FILE] | trace diff A B "
+            "[--fail-above PCT]"
+        )
 
     if args.experiment == "storm":
         if args.paths:

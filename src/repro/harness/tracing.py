@@ -11,9 +11,10 @@ transition/RESET events, sim-engine stats, and a chain-phase span.
 
 from __future__ import annotations
 
+import sys
 import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.chain.committee import calibrated_verify_mean
 from repro.chain.fastpath import run_pbft
@@ -44,6 +45,53 @@ def build_telemetry(
     return Telemetry(wall_clock=time.perf_counter, sinks=sinks)
 
 
+def sample_resources() -> Optional[dict]:
+    """Peak RSS and CPU times of this process via ``resource.getrusage``.
+
+    Harness-only by design (wall/OS state would break MV002 inside the
+    replayable packages); returns ``None`` where the stdlib ``resource``
+    module is unavailable (non-POSIX platforms) so callers can skip the
+    gauge instead of crashing.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - POSIX-only module
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    # ru_maxrss is KiB on Linux but bytes on macOS.
+    divisor = 1024.0 if sys.platform == "darwin" else 1.0
+    return {
+        "peak_rss_kib": usage.ru_maxrss / divisor,
+        "user_s": usage.ru_utime,
+        "system_s": usage.ru_stime,
+    }
+
+
+def emit_resource_gauge(
+    telemetry: Telemetry,
+    wall_s: Optional[float] = None,
+    sampler: Optional[Callable[[], Optional[dict]]] = None,
+) -> Optional[dict]:
+    """Emit the opt-in ``obs.resources`` gauge into an injected hub.
+
+    One ``obs.resources`` event carries the full sample (peak RSS, CPU
+    times, and the caller-measured wall duration) and a companion gauge
+    tracks ``peak_rss_kib`` so the metrics aggregator sees it as a keyed
+    series.  The hub is injected (MV007-clean) and the sample values are
+    machine state, which is why ``mvcom trace diff`` excludes
+    ``obs.resources*`` series from regression comparison by default.
+    """
+    sample = (sampler or sample_resources)()
+    if sample is None:
+        return None
+    fields = dict(sample)
+    if wall_s is not None:
+        fields["wall_s"] = wall_s
+    telemetry.event("obs.resources", **fields)
+    telemetry.gauge("obs.resources.peak_rss_kib", float(sample["peak_rss_kib"]))
+    return fields
+
+
 @dataclass
 class TracedRun:
     """Everything one traced solve produced."""
@@ -71,6 +119,8 @@ def traced_solve(
     engine: str = "serial",
     num_workers: int = 4,
     chain_engine: str = "des",
+    resources: bool = False,
+    resource_sampler: Optional[Callable[[], Optional[dict]]] = None,
 ) -> TracedRun:
     """Run one fully-traced SE solve plus a final-committee PBFT round.
 
@@ -86,7 +136,10 @@ def traced_solve(
     firing on the driver at segment boundaries for every engine.
     ``chain_engine`` selects the substrate for the final PBFT round
     (``des`` reference simulation or the ``fastpath`` closed-form kernel;
-    see :mod:`repro.chain.fastpath`).
+    see :mod:`repro.chain.fastpath`).  With ``resources=True`` the
+    harness-only ``obs.resources`` gauge (peak RSS via ``getrusage``,
+    wall via the hub's wall clock) is emitted when the solve span closes;
+    ``resource_sampler`` injects a fake sampler for tests.
     """
     owns_hub = telemetry is None
     if telemetry is None:
@@ -115,6 +168,7 @@ def traced_solve(
         telemetry=telemetry,
     )
     hotspots: List[dict] = []
+    solve_started = time.perf_counter()
     with telemetry.span("harness.se_solve", committees=num_committees, gamma=gamma):
         if profile:
             result, hotspots = profile_call(
@@ -126,6 +180,12 @@ def traced_solve(
             )
         else:
             result = solver.solve(workload.instance)
+    if resources:
+        emit_resource_gauge(
+            telemetry,
+            wall_s=time.perf_counter() - solve_started,
+            sampler=resource_sampler,
+        )
 
     # One chain-phase: the final committee's PBFT round on the selected engine.
     streams = RandomStreams(seed)

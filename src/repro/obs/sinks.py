@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from collections import deque
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 import numpy as np
 
@@ -109,22 +109,32 @@ class JsonlSink:
         return False
 
 
-def read_jsonl(path) -> List[dict]:
-    """Load a JSONL trace back into a list of record dicts.
+def iter_jsonl(path) -> Iterator[dict]:
+    """Stream a JSONL trace one record dict at a time.
 
-    Blank lines are skipped; a malformed line raises
-    :class:`TraceDecodeError` naming its line number.
+    This is the bounded-memory form ``summary``/``metrics``/``diff`` build
+    on: the file is never materialised as a list, so Eth2-scale traces
+    (millions of records) aggregate in O(1) memory.  Blank lines are
+    skipped; a malformed line raises :class:`TraceDecodeError` naming its
+    line number, exactly as :func:`read_jsonl` does.
     """
-    records: List[dict] = []
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             stripped = line.strip()
             if not stripped:
                 continue
             try:
-                records.append(json.loads(stripped))
+                yield json.loads(stripped)
             except json.JSONDecodeError as error:
                 raise TraceDecodeError(
                     f"{path}:{line_number}: invalid JSONL record: {error}"
                 ) from error
-    return records
+
+
+def read_jsonl(path) -> List[dict]:
+    """Load a JSONL trace back into a list of record dicts.
+
+    Thin list wrapper over :func:`iter_jsonl`; prefer the iterator form
+    for anything that only needs one pass.
+    """
+    return list(iter_jsonl(path))

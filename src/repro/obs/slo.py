@@ -1,0 +1,255 @@
+"""Declarative SLO specs evaluated online against the metrics aggregator.
+
+The ROADMAP's service loop (item 3) and the stability framing of *Stable
+Blockchain Sharding under Adversarial Transaction Generation* (arXiv
+2404.04438) both want queue growth, age percentiles, and per-committee
+latency treated as *tracked objectives with explicit thresholds*, not
+after-the-fact CSV columns.  An SLO here is one of three checks against a
+:class:`~repro.obs.metrics.MetricsAggregator` series:
+
+``max_p99``
+    Sketch p99 of a span/hist/field series must stay at or below the
+    threshold (e.g. ``chain.mempool.age_s`` p99 vs the paper's
+    cumulative-age objective, or per-committee ``chain.pbft.round`` p99).
+``max_rate``
+    Counter/event arrivals per unit deterministic time must stay at or
+    below the threshold (e.g. ``se.reset_broadcasts`` churn).
+``monotone_budget``
+    A numeric record field may decrease at most ``budget`` times over the
+    run (e.g. ``se.round``'s ``best_utility`` is monotone except across
+    dynamic join/leave boundaries, so a small budget tolerates exactly
+    those resets).
+
+Specs load from ``[tool.repro.obs.slo.<name>]`` tables in pyproject-style
+TOML (via the same 3.9-safe parser the lint config uses) or construct
+directly.  :class:`SloTracker` implements the sink protocol: attach it to
+the hub *after* its aggregator and it evaluates periodically, emitting
+``slo.violation`` events back into the same stream — so violations land in
+the very trace being recorded, and ``mvcom trace metrics --slo`` can
+re-evaluate any stored trace offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.config import find_pyproject, parse_toml
+from repro.obs.metrics import MetricsAggregator
+from repro.obs.telemetry import NULL_TELEMETRY, NullTelemetry
+
+#: pyproject table holding the SLO specs.
+SLO_SECTION = ("tool", "repro", "obs", "slo")
+
+#: The three supported check kinds.
+SLO_KINDS = ("max_p99", "max_rate", "monotone_budget")
+
+
+class SloSpecError(ValueError):
+    """Raised for a malformed SLO table (unknown kind, missing metric...)."""
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One declarative objective: a check kind plus its threshold."""
+
+    name: str
+    metric: str
+    kind: str
+    threshold: float
+    tag: str = ""
+    field: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in SLO_KINDS:
+            raise SloSpecError(
+                f"SLO {self.name!r}: unknown kind {self.kind!r} "
+                f"(expected one of {', '.join(SLO_KINDS)})"
+            )
+        if not self.metric:
+            raise SloSpecError(f"SLO {self.name!r}: 'metric' is required")
+        if self.kind == "monotone_budget" and not self.field:
+            raise SloSpecError(
+                f"SLO {self.name!r}: monotone_budget needs a 'field' to watch"
+            )
+
+
+def specs_from_section(section: dict) -> List[SloSpec]:
+    """Build specs from a decoded ``[tool.repro.obs.slo]`` table."""
+    specs: List[SloSpec] = []
+    for name in sorted(section):
+        table = section[name]
+        if not isinstance(table, dict):
+            raise SloSpecError(f"SLO {name!r}: expected a table, got {table!r}")
+        kinds = [kind for kind in SLO_KINDS if kind in table]
+        if len(kinds) != 1:
+            raise SloSpecError(
+                f"SLO {name!r}: exactly one of {', '.join(SLO_KINDS)} required"
+            )
+        specs.append(
+            SloSpec(
+                name=str(name),
+                metric=str(table.get("metric", "")),
+                kind=kinds[0],
+                threshold=float(table[kinds[0]]),
+                tag=str(table.get("tag", "")),
+                field=str(table.get("field", "")),
+            )
+        )
+    return specs
+
+
+def load_slo_specs(
+    pyproject_path: Optional[str] = None, start: Optional[str] = None
+) -> List[SloSpec]:
+    """Read SLO specs from the nearest pyproject.toml (empty when absent)."""
+    path = pyproject_path or find_pyproject(start)
+    if path is None:
+        return []
+    with open(path, "rb") as handle:
+        table = parse_toml(handle.read().decode("utf-8"))
+    section: object = table
+    for key in SLO_SECTION:
+        if not isinstance(section, dict):
+            return []
+        section = section.get(key, {})
+    if not isinstance(section, dict):
+        return []
+    return specs_from_section(section)
+
+
+class SloTracker:
+    """Evaluate SLO specs online against an aggregator-fed record stream.
+
+    Sink protocol: attach to the hub *after* the aggregator so each record
+    is aggregated before the tracker sees it.  Quantile/rate specs are
+    re-checked every ``check_interval`` records (they only move with the
+    aggregate); monotone specs update on every matching record.  Each
+    spec's *first* breach emits one ``slo.violation`` event into
+    ``telemetry`` — the same stream being recorded — and is remembered in
+    :attr:`violations`; :meth:`check` forces a final evaluation (call it at
+    close, or after an offline :meth:`consume`).
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[SloSpec],
+        aggregator: MetricsAggregator,
+        telemetry: NullTelemetry = NULL_TELEMETRY,
+        check_interval: int = 256,
+    ) -> None:
+        if check_interval <= 0:
+            raise ValueError("check_interval must be positive")
+        self.specs = list(specs)
+        self.aggregator = aggregator
+        self.telemetry = telemetry
+        self.check_interval = check_interval
+        self.violations: List[dict] = []
+        self._breached: Dict[str, dict] = {}
+        self._monotone_last: Dict[str, float] = {}
+        self._monotone_drops: Dict[str, int] = {}
+        self._records = 0
+        self._emitting = False
+
+    # ------------------------------------------------------------------ #
+    def emit(self, record: dict) -> None:
+        """Sink protocol: track one record, evaluating periodically."""
+        if self._emitting:
+            return  # our own slo.violation echoing back through the hub
+        self._records += 1
+        name = record.get("name")
+        for spec in self.specs:
+            if spec.kind == "monotone_budget" and spec.metric == name:
+                self._track_monotone(spec, record)
+        if self._records % self.check_interval == 0:
+            self._evaluate()
+
+    def consume(self, records: Iterable[dict]) -> List[dict]:
+        """Offline form: track a stored stream, then run a final check."""
+        for record in records:
+            self.emit(record)
+        return self.check()
+
+    def check(self) -> List[dict]:
+        """Force a full evaluation; returns all violations seen so far."""
+        self._evaluate()
+        return list(self.violations)
+
+    # ------------------------------------------------------------------ #
+    def _track_monotone(self, spec: SloSpec, record: dict) -> None:
+        value = record.get(spec.field)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return
+        value = float(value)
+        last = self._monotone_last.get(spec.name)
+        self._monotone_last[spec.name] = value
+        if last is not None and value < last:
+            drops = self._monotone_drops.get(spec.name, 0) + 1
+            self._monotone_drops[spec.name] = drops
+            if drops > spec.threshold:
+                self._breach(spec, observed=float(drops),
+                             detail=f"{spec.metric}.{spec.field} decreased")
+
+    def _evaluate(self) -> None:
+        for spec in self.specs:
+            if spec.name in self._breached:
+                continue
+            if spec.kind == "max_p99":
+                self._check_quantile(spec)
+            elif spec.kind == "max_rate":
+                self._check_rate(spec)
+            # monotone_budget breaches fire inline in _track_monotone
+
+    @staticmethod
+    def _tag_matches(series_tag: str, spec_tag: str) -> bool:
+        # An untagged spec gates the cross-tag aggregate series; a tagged
+        # one accepts the promoted "field=value" form or the bare value.
+        if spec_tag == "":
+            return series_tag == ""
+        return series_tag == spec_tag or series_tag.partition("=")[2] == spec_tag
+
+    def _check_quantile(self, spec: SloSpec) -> None:
+        for series in self.aggregator.find_series(spec.metric):
+            if series.sketch is None or not series.sketch.count:
+                continue
+            if not self._tag_matches(series.tag, spec.tag):
+                continue
+            p99 = series.sketch.quantile(0.99)
+            if p99 > spec.threshold:
+                self._breach(spec, observed=p99, series_tag=series.tag)
+                return
+
+    def _check_rate(self, spec: SloSpec) -> None:
+        for series in self.aggregator.find_series(spec.metric):
+            if series.kind not in ("counter", "event"):
+                continue
+            if not self._tag_matches(series.tag, spec.tag):
+                continue
+            rate = series.rate
+            if rate is not None and rate > spec.threshold:
+                self._breach(spec, observed=rate, series_tag=series.tag)
+                return
+
+    def _breach(self, spec: SloSpec, observed: float,
+                series_tag: str = "", detail: str = "") -> None:
+        if spec.name in self._breached:
+            return
+        violation = {
+            "slo": spec.name,
+            "metric": spec.metric,
+            "kind": spec.kind,
+            "threshold": spec.threshold,
+            "observed": observed,
+        }
+        if series_tag:
+            violation["tag"] = series_tag
+        if detail:
+            violation["detail"] = detail
+        self._breached[spec.name] = violation
+        self.violations.append(violation)
+        if self.telemetry.enabled:
+            self._emitting = True
+            try:
+                self.telemetry.event("slo.violation", **violation)
+            finally:
+                self._emitting = False

@@ -10,46 +10,67 @@ own table.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Iterable, List
 
 from repro.harness.report import render_table
 from repro.harness.textplot import sparkline
 from repro.metrics.traces import trace_statistics
-from repro.obs.sinks import read_jsonl
+from repro.obs.sinks import iter_jsonl
 
 
-def _span_rows(records: Sequence[dict]) -> List[dict]:
-    totals: Dict[str, dict] = {}
-    for record in records:
-        if record.get("type") != "span":
-            continue
+class _SummaryCollector:
+    """Single-pass bounded-memory collectors behind the text report.
+
+    Everything the report renders is an aggregate (per-name span totals,
+    per-(type, name) counts, the se.round utility series, hotspot tables),
+    so one streaming pass suffices and Eth2-scale traces never have to fit
+    in memory as a record list.
+    """
+
+    def __init__(self) -> None:
+        self.records = 0
+        self.span_totals: Dict[str, dict] = {}
+        self.counts: Dict[tuple, int] = {}
+        self.utility: List[float] = []
+        self.hotspots: List[dict] = []
+
+    def add(self, record: dict) -> None:
+        self.records += 1
+        kind = record.get("type", "?")
         name = record.get("name", "?")
-        entry = totals.setdefault(
-            name, {"span": name, "count": 0, "total_dt": 0.0, "total_wall_s": 0.0}
+        self.counts[(kind, name)] = self.counts.get((kind, name), 0) + 1
+        if kind == "span":
+            entry = self.span_totals.setdefault(
+                name, {"span": name, "count": 0, "total_dt": 0.0, "total_wall_s": 0.0}
+            )
+            entry["count"] += 1
+            entry["total_dt"] += float(record.get("dt", 0.0))
+            entry["total_wall_s"] += float(record.get("wall_dt", 0.0))
+        elif name == "se.round" and "best_utility" in record:
+            self.utility.append(float(record["best_utility"]))
+        elif name == "profile.hotspots":
+            self.hotspots.append(record)
+
+    def span_rows(self) -> List[dict]:
+        rows = sorted(
+            self.span_totals.values(), key=lambda row: (-row["total_dt"], row["span"])
         )
-        entry["count"] += 1
-        entry["total_dt"] += float(record.get("dt", 0.0))
-        entry["total_wall_s"] += float(record.get("wall_dt", 0.0))
-    rows = sorted(totals.values(), key=lambda row: (-row["total_dt"], row["span"]))
-    for row in rows:
-        row["total_dt"] = round(row["total_dt"], 6)
-        row["mean_dt"] = round(row["total_dt"] / row["count"], 6)
-        row["total_wall_s"] = round(row["total_wall_s"], 6)
-    return rows
+        for row in rows:
+            row["total_dt"] = round(row["total_dt"], 6)
+            row["mean_dt"] = round(row["total_dt"] / row["count"], 6)
+            row["total_wall_s"] = round(row["total_wall_s"], 6)
+        return rows
+
+    def event_count_rows(self) -> List[dict]:
+        return [
+            {"type": kind, "name": name, "records": count}
+            for (kind, name), count in sorted(
+                self.counts.items(), key=lambda item: (-item[1], item[0])
+            )
+        ]
 
 
-def _event_count_rows(records: Sequence[dict]) -> List[dict]:
-    counts: Dict[tuple, int] = {}
-    for record in records:
-        key = (record.get("type", "?"), record.get("name", "?"))
-        counts[key] = counts.get(key, 0) + 1
-    return [
-        {"type": kind, "name": name, "records": count}
-        for (kind, name), count in sorted(counts.items(), key=lambda item: (-item[1], item[0]))
-    ]
-
-
-def utility_trace(records: Sequence[dict]) -> List[float]:
+def utility_trace(records: Iterable[dict]) -> List[float]:
     """Best-utility series carried by the ``se.round`` trace points."""
     return [
         float(record["best_utility"])
@@ -58,32 +79,36 @@ def utility_trace(records: Sequence[dict]) -> List[float]:
     ]
 
 
-def summarize_records(records: Sequence[dict], top_spans: int = 10) -> str:
-    """Render the full text report for an in-memory record list."""
-    if not records:
+def summarize_records(records: Iterable[dict], top_spans: int = 10) -> str:
+    """Render the full text report from any record iterable (one pass)."""
+    collector = _SummaryCollector()
+    for record in records:
+        collector.add(record)
+    if not collector.records:
         return "empty trace: no telemetry records"
-    sections: List[str] = [f"telemetry trace: {len(records)} records"]
+    sections: List[str] = [f"telemetry trace: {collector.records} records"]
 
-    span_rows = _span_rows(records)
+    span_rows = collector.span_rows()
     if span_rows:
         sections.append(
             render_table(span_rows[:top_spans], title="Top spans by cumulative time")
         )
 
-    sections.append(render_table(_event_count_rows(records), title="Record counts by name"))
+    sections.append(
+        render_table(collector.event_count_rows(), title="Record counts by name")
+    )
 
-    trace = utility_trace(records)
-    if trace:
-        stats = trace_statistics(trace)
+    if collector.utility:
+        stats = trace_statistics(collector.utility)
         stats_rows = [{"statistic": key, "value": value} for key, value in stats.items()]
         sections.append(
-            "SE utility trace: " + sparkline(trace) + "\n" + render_table(stats_rows)
+            "SE utility trace: "
+            + sparkline(collector.utility)
+            + "\n"
+            + render_table(stats_rows)
         )
 
-    hotspot_sections = [
-        record for record in records if record.get("name") == "profile.hotspots"
-    ]
-    for record in hotspot_sections:
+    for record in collector.hotspots:
         rows = record.get("hotspots") or []
         if rows:
             sections.append(
@@ -94,5 +119,5 @@ def summarize_records(records: Sequence[dict], top_spans: int = 10) -> str:
 
 
 def summarize_file(path, top_spans: int = 10) -> str:
-    """Load a JSONL trace from disk and render its text report."""
-    return summarize_records(read_jsonl(path), top_spans=top_spans)
+    """Stream a JSONL trace from disk and render its text report."""
+    return summarize_records(iter_jsonl(path), top_spans=top_spans)

@@ -1,0 +1,187 @@
+"""Perfetto/OpenMetrics exporters: mapping, structure, byte-determinism."""
+
+import hashlib
+import io
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs.export import (
+    openmetrics_text,
+    trace_event,
+    write_openmetrics,
+    write_perfetto,
+)
+from repro.obs.metrics import MetricsAggregator
+
+# A hand-written trace exercising every record shape with enough distinct
+# names/tags that a hash-order dependence anywhere in the exporters would
+# scramble the output.
+FIXTURE_RECORDS = (
+    [{"seq": 1, "t": 0.0, "type": "event", "name": "se.bootstrap",
+      "num_shards": 16, "capacity": 20000}]
+    + [{"seq": 2 + i, "t": float(i), "type": "event", "name": "se.round",
+        "best_utility": 100.0 + i, "current_utility": 90.0 + i, "transitions": i % 3}
+       for i in range(8)]
+    + [{"seq": 10 + i, "t": 10.0 + i, "type": "hist", "name": "chain.mempool.age_s",
+        "value": 1.5 * (i + 1), "epoch": i % 2} for i in range(6)]
+    + [{"seq": 16 + i, "t": 20.0 + i, "type": "counter", "name": "se.reset_broadcasts",
+        "inc": 1, "total": i + 1} for i in range(4)]
+    + [{"seq": 20, "t": 24.0, "type": "gauge", "name": "sim.pending", "value": 7.0},
+       {"seq": 21, "t": 30.0, "type": "span", "name": "chain.pbft.round",
+        "t0": 25.0, "t1": 30.0, "dt": 5.0, "depth": 1, "tag": "epoch0-committee3"},
+       {"seq": 22, "t": 31.0, "type": "span", "name": "harness.se_solve",
+        "t0": 0.0, "t1": 31.0, "dt": 31.0, "depth": 0, "wall_dt": 0.25},
+       {"seq": 23, "t": 32.0, "type": "event", "name": "harness.done",
+        "utility": 107.0, "converged": True}]
+)
+
+
+def _write_fixture(path):
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in FIXTURE_RECORDS:
+            handle.write(json.dumps(record) + "\n")
+    return path
+
+
+# ---------------------------------------------------------------------- #
+# record -> trace_event mapping
+# ---------------------------------------------------------------------- #
+class TestTraceEvent:
+    def test_span_becomes_complete_event(self):
+        event = trace_event({"type": "span", "name": "s", "t0": 1.0, "t1": 3.0,
+                             "dt": 2.0, "depth": 2, "tag": "x"})
+        assert event["ph"] == "X"
+        assert event["ts"] == 1.0e6 and event["dur"] == 2.0e6
+        assert event["tid"] == 2
+        assert event["args"] == {"tag": "x"}  # envelope keys stripped
+
+    def test_counter_and_gauge_become_counter_samples(self):
+        counter = trace_event({"type": "counter", "name": "c", "t": 2.0,
+                               "inc": 1, "total": 5})
+        assert counter["ph"] == "C" and counter["args"] == {"c": 5}
+        gauge = trace_event({"type": "gauge", "name": "g", "t": 1.0, "value": 7.5})
+        assert gauge["ph"] == "C" and gauge["args"] == {"g": 7.5}
+
+    def test_event_and_hist_become_instants(self):
+        instant = trace_event({"type": "event", "name": "e", "t": 1.0, "k": 3})
+        assert instant["ph"] == "i" and instant["s"] == "t"
+        assert instant["args"] == {"k": 3}
+        hist = trace_event({"type": "hist", "name": "h", "t": 1.0, "value": 0.5})
+        assert hist["args"] == {"value": 0.5}
+
+    def test_unknown_type_maps_to_none(self):
+        assert trace_event({"type": "mystery", "name": "?"}) is None
+
+
+# ---------------------------------------------------------------------- #
+# perfetto writer
+# ---------------------------------------------------------------------- #
+class TestPerfetto:
+    def test_output_is_valid_trace_event_json(self):
+        buffer = io.StringIO()
+        written = write_perfetto(FIXTURE_RECORDS, buffer)
+        assert written == len(FIXTURE_RECORDS)
+        document = json.loads(buffer.getvalue())
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        assert len(events) == written
+        assert {event["ph"] for event in events} == {"X", "C", "i"}
+        span = next(e for e in events if e["name"] == "chain.pbft.round")
+        assert span["dur"] == 5.0e6
+
+    def test_same_input_twice_is_byte_identical(self, tmp_path):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            write_perfetto(FIXTURE_RECORDS, str(path))
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_empty_trace_still_valid(self):
+        buffer = io.StringIO()
+        assert write_perfetto([], buffer) == 0
+        assert json.loads(buffer.getvalue())["traceEvents"] == []
+
+
+# ---------------------------------------------------------------------- #
+# openmetrics exposition
+# ---------------------------------------------------------------------- #
+class TestOpenMetrics:
+    @pytest.fixture(scope="class")
+    def text(self):
+        aggregator = MetricsAggregator().consume(iter(FIXTURE_RECORDS))
+        return openmetrics_text(aggregator)
+
+    def test_families_types_and_terminator(self, text):
+        assert "# TYPE mvcom_chain_mempool_age_s_value summary" in text
+        assert "# TYPE mvcom_se_reset_broadcasts_total counter" in text
+        assert "# TYPE mvcom_sim_pending_gauge gauge" in text
+        assert text.endswith("# EOF\n")
+        assert f"mvcom_trace_records {len(FIXTURE_RECORDS)}" in text
+
+    def test_summary_quantiles_and_tag_labels(self, text):
+        assert 'mvcom_chain_mempool_age_s_value{quantile="0.99"}' in text
+        assert 'mvcom_chain_mempool_age_s_value{epoch="0",quantile="0.5"}' in text
+        assert 'mvcom_chain_pbft_round_span_dt{tag="epoch0-committee3",quantile="0.5"}' in text
+        assert "mvcom_chain_mempool_age_s_value_count 6" in text
+
+    def test_counter_totals_render_bare_integers(self, text):
+        assert "mvcom_se_reset_broadcasts_total 4" in text  # four inc=1 records
+        assert "mvcom_se_round_records 8" in text
+
+    def test_write_openmetrics_to_path_and_handle(self, tmp_path):
+        aggregator = MetricsAggregator().consume(iter(FIXTURE_RECORDS))
+        path = tmp_path / "metrics.prom"
+        returned = write_openmetrics(aggregator, str(path))
+        assert path.read_text() == returned
+        buffer = io.StringIO()
+        write_openmetrics(aggregator, buffer)
+        assert buffer.getvalue() == returned
+
+
+# ---------------------------------------------------------------------- #
+# byte-determinism across PYTHONHASHSEED (acceptance criterion) -- the
+# exporters run in fresh interpreters so any hash-order dependence in
+# dict/set iteration would produce differing bytes.
+# ---------------------------------------------------------------------- #
+class TestHashSeedDeterminism:
+    @pytest.mark.parametrize("format_name", ["perfetto", "openmetrics"])
+    def test_exports_identical_across_hash_seeds(self, tmp_path, format_name):
+        trace = _write_fixture(tmp_path / "trace.jsonl")
+        digests = set()
+        for seed in ("0", "1", "424242"):
+            out = tmp_path / f"out-{seed}"
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in (os.path.abspath("src"), env.get("PYTHONPATH")) if p
+            )
+            completed = subprocess.run(
+                [sys.executable, "-m", "repro.harness.cli", "trace", "export",
+                 str(trace), "--format", format_name, "--out", str(out)],
+                capture_output=True,
+                env=env,
+            )
+            assert completed.returncode == 0, completed.stderr.decode()
+            digests.add(hashlib.sha256(out.read_bytes()).hexdigest())
+        assert len(digests) == 1
+
+    def test_aggregate_snapshot_identical_across_hash_seeds(self, tmp_path):
+        trace = _write_fixture(tmp_path / "trace.jsonl")
+        digests = set()
+        for seed in ("0", "77"):
+            out = tmp_path / f"agg-{seed}.json"
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in (os.path.abspath("src"), env.get("PYTHONPATH")) if p
+            )
+            completed = subprocess.run(
+                [sys.executable, "-m", "repro.harness.cli", "trace", "metrics",
+                 str(trace), "--out", str(out)],
+                capture_output=True,
+                env=env,
+            )
+            assert completed.returncode == 0, completed.stderr.decode()
+            digests.add(hashlib.sha256(out.read_bytes()).hexdigest())
+        assert len(digests) == 1
