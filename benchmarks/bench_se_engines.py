@@ -1,17 +1,27 @@
-"""SE execution-engine bench: parallel Γ-scaling and the vectorized kernel.
+"""SE execution-engine bench: parallel Γ-scaling, the vectorized kernel,
+and the fully-batched Γ×thread race kernel behind ``engine="auto"``.
 
-Two claims from the engine layer (:mod:`repro.core.engine`):
+Three claims from the engine layer (:mod:`repro.core.engine`):
 
 * ``parallel`` distributes Γ replicas across a process pool and stays
   **byte-identical** to serial — asserted hard here (masks, traces,
   iteration counts).  The wall-clock speedup is *recorded*, not asserted:
   shared CI runners routinely expose a single core, where replica
   parallelism cannot pay for its pickling.  ``cpu_count`` rides along in
-  the record so a reader can judge the number.
+  the record so a reader can judge the number; the pool size is clamped
+  to the core count (the oversubscription bugfix), and both the requested
+  and granted sizes are recorded.
 * ``vectorized`` batches the race kernel into numpy array ops; its
   single-replica round throughput must beat serial by a wide margin on
   a thread-rich instance.  The ratio is same-machine (both engines timed
   back to back), so a regression floor IS asserted.
+* the **batched** configuration races all Γ replicas × all threads in one
+  kernel (Γ=25 over 300 committees, every cardinality a thread — the
+  fig08-scale shape).  Its round throughput target is ≥10x serial on the
+  bench box; the floor asserted here is lower (6x) because foreign
+  runners time the numpy side under arbitrary co-tenancy.  ``auto`` must
+  pick the batched kernel for this shape, and every ``auto`` pick must be
+  no slower than the serial measurement taken in the same process.
 
 Records land in ``BENCH_se_convergence.json`` under ``se_engines``.
 """
@@ -21,6 +31,7 @@ import time
 
 import numpy as np
 
+from repro.core.engine import clamp_workers, select_engine
 from repro.core.se import SEConfig, StochasticExploration
 from repro.data.workload import WorkloadConfig, generate_epoch_workload
 
@@ -42,7 +53,10 @@ def _assert_identical(a, b):
 
 
 def test_engine_bench(perf_recorder):
-    # ---- parallel: Γ=10 over 100 committees, 4 workers ---------------- #
+    cpu_count = os.cpu_count() or 1
+    granted_workers = clamp_workers(4)
+
+    # ---- parallel: Γ=10 over 100 committees ---------------------------- #
     workload = generate_epoch_workload(
         WorkloadConfig(num_committees=100, capacity=100_000, seed=0)
     )
@@ -97,20 +111,72 @@ def test_engine_bench(perf_recorder):
     # Same-machine ratio: a regression floor well under the ~2.3x observed.
     assert vector_speedup >= 1.5
 
+    # ---- batched: Γ=25 × every cardinality in one kernel -------------- #
+    # The fig08-scale shape: 25 replicas racing ~108 threads each (2700
+    # rows) through the rectangular argmin.  Serial gets a smaller round
+    # budget (it is ~10x slower); both rates are per-round and both solves
+    # amortise their spawn/sync fixed costs over the measured rounds.
+    batched_gamma = 25
+    batched_kwargs = dict(
+        num_threads=batched_gamma, convergence_window=10 ** 6, seed=1,
+        max_solution_threads=None,
+    )
+    for engine, iters in (("serial", 60), ("vectorized", 200)):
+        _timed_solve(
+            vec_workload.instance, engine=engine, max_iterations=iters,
+            **batched_kwargs,
+        )
+    bserial_res, bserial_wall = _timed_solve(
+        vec_workload.instance, engine="serial", max_iterations=600,
+        **batched_kwargs,
+    )
+    batched_res, batched_wall = _timed_solve(
+        vec_workload.instance, engine="vectorized", max_iterations=4_000,
+        **batched_kwargs,
+    )
+    bserial_rounds_per_s = bserial_res.iterations / bserial_wall
+    batched_rounds_per_s = batched_res.iterations / batched_wall
+    batched_speedup = batched_rounds_per_s / bserial_rounds_per_s
+    assert batched_res.best_utility >= 0.97 * bserial_res.best_utility
+    # ≥10x on the bench box; the asserted floor leaves room for noisy
+    # shared runners without letting a real regression through.
+    assert batched_speedup >= 6.0
+
+    # ---- auto: must pick the batched kernel here, never a loser ------- #
+    auto_config = SEConfig(engine="auto", **batched_kwargs)
+    # Racing threads per replica: every cardinality in [n_lo, n_hi] has a
+    # swappable pair on this instance, so the thread list is the count.
+    racing = len(batched_res.thread_cardinalities)
+    auto_choice, auto_reason = select_engine(auto_config, racing)
+    assert auto_choice == "vectorized", auto_reason
+    measured = {
+        "serial": bserial_rounds_per_s,
+        "vectorized": batched_rounds_per_s,
+    }
+    # "auto is never slower than serial": the engine auto picked must meet
+    # or beat the serial measurement taken seconds ago in this process.
+    assert measured[auto_choice] >= measured["serial"]
+
     print()
     print("SE engine bench")
-    print(f"  parallel   Gamma=10, 100 committees, 4 workers, {os.cpu_count()} cpus")
+    print(f"  parallel   Gamma=10, 100 committees, 4 workers requested "
+          f"({granted_workers} granted), {cpu_count} cpus")
     print(f"    serial   {serial_wall:7.3f} s")
     print(f"    parallel {parallel_wall:7.3f} s   speedup {parallel_speedup:5.2f}x")
     print("  vectorized Gamma=1, 300 committees, all cardinalities, 4000 rounds")
     print(f"    serial     {serial_rounds_per_s:8.0f} rounds/s")
     print(f"    vectorized {vector_rounds_per_s:8.0f} rounds/s   "
           f"speedup {vector_speedup:5.2f}x")
+    print(f"  batched    Gamma={batched_gamma}, 300 committees, all cardinalities")
+    print(f"    serial     {bserial_rounds_per_s:8.0f} rounds/s")
+    print(f"    batched    {batched_rounds_per_s:8.0f} rounds/s   "
+          f"speedup {batched_speedup:5.2f}x   auto picks {auto_choice}")
 
     perf_recorder(
         "se_engines",
-        cpu_count=os.cpu_count(),
+        cpu_count=cpu_count,
         parallel_workers=4,
+        parallel_workers_granted=granted_workers,
         parallel_gamma=10,
         parallel_committees=100,
         parallel_serial_wall_s=serial_wall,
@@ -122,4 +188,11 @@ def test_engine_bench(perf_recorder):
         serial_rounds_per_s=serial_rounds_per_s,
         vectorized_rounds_per_s=vector_rounds_per_s,
         vectorized_speedup=vector_speedup,
+        batched_gamma=batched_gamma,
+        batched_committees=300,
+        batched_rounds=int(batched_res.iterations),
+        batched_serial_rounds_per_s=bserial_rounds_per_s,
+        batched_rounds_per_s=batched_rounds_per_s,
+        batched_speedup=batched_speedup,
+        auto_choice=auto_choice,
     )

@@ -28,32 +28,50 @@ the :class:`~repro.core.convergence.ConvergenceDetector` and the incumbent
     tie-break over them.)
 
 ``vectorized``
-    A batched single-process race kernel: each round draws all racing
+    The fully-batched Γ×thread race kernel: **one** numpy race covers every
+    replica's racing threads simultaneously.  Each round draws all racing
     threads' swap pairs and Exp(1) variates in one block from the named
-    ``"vectorized-race"`` stream and evaluates eq. (8) as array ops.  It
-    consumes randomness in a different order than the scalar engines, so it
-    is validated *distributionally* (χ²/KS tests in
-    ``tests/test_core_engines.py``), not byte-wise.
+    ``"vectorized-race"`` stream, evaluates eq. (8) as array ops over the
+    whole population, finds each replica's minimum armed timer by a
+    segmented (inf-padded rectangular) argmin — no per-replica Python loop —
+    and applies all fires at once (one fire per replica touches disjoint
+    rows, so the batch is exact).  It consumes randomness in a different
+    order than the scalar engines, so it is validated *distributionally*
+    (χ²/KS tests in ``tests/test_core_engines.py``), not byte-wise.
 
-Vectorized stream layout (the engine's own named stream, independent of the
-per-replica scalar streams): per race round one uniform block of shape
-``(T, pair_tries, 3)`` is drawn from ``streams.get("vectorized-race")``,
-where ``T`` counts racing threads in replica-major, cardinality-minor
-order.  Lane ``l`` column 0 is thread ``t``'s out-index draw, column 1 its
-in-index draw, column 2 its Exp(1) inversion draw; lanes beyond the first
-capacity-feasible pair are discarded.  Consumption is therefore
-shape-constant per round — independent of acceptance — which keeps replays
-deterministic for a fixed thread population.  For speed the kernel draws
-several rounds at once as one ``(R, T, pair_tries, 3)`` tensor; the C-order
-fill makes that stream-identical to ``R`` consecutive per-round draws, so
-block size never changes a trajectory.
+``auto`` (the :class:`~repro.core.se.SEConfig` default)
+    Not a fourth engine but a selection rule (:func:`select_engine`): the
+    *trajectory-changing* choice — scalar family vs batched kernel — depends
+    only on machine-independent quantities (the racing population
+    ``Γ × threads`` and the dynamic-event density), so a seeded run picks
+    the same family on every box; ``os.cpu_count()`` only arbitrates
+    *within* the byte-identical scalar family (serial vs parallel).  The
+    decision is logged through the injected obs hub as an ``engine.auto``
+    event.
+
+Vectorized stream layout (the engine's own named streams, independent of
+the per-replica scalar streams): per race round the main
+``"vectorized-race"`` stream supplies one ``(T, 3)`` uniform block —
+column 0 a thread's lane-0 out-index draw, column 1 its lane-0 in-index
+draw, column 2 its Exp(1) inversion draw — where ``T`` counts racing
+threads **across all Γ replicas** in replica-major, cardinality-minor
+order.  Main-stream consumption is therefore shape-constant per round.
+Only rows whose lane-0 pair violates the capacity (const. 4) draw their
+remaining ``pair_tries - 1`` candidate pairs from the separate
+``"vectorized-race-retry"`` stream — one ``(rejected, pair_tries - 1, 2)``
+block, first feasible lane wins, budget-exhausted rows park — so the
+common case (ample slack) pays 3 uniforms per thread-round instead of the
+scalar engines' up-to-33.  Both streams replay deterministically: the
+retry block's size is a function of the trajectory, which is a function of
+the seeds alone.  For speed the kernel draws many rounds of the main block
+at once as ``(R, T, 3)``; retry blocks are always per-round.
 """
 
 from __future__ import annotations
 
 import atexit
-import math
 import multiprocessing
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
@@ -70,11 +88,104 @@ from repro.core.se import (
     _Replica,
 )
 from repro.core.solution import Solution
-from repro.core.timers import clamped_exp
+from repro.core.timers import LOG_DURATION_MAX, LOG_DURATION_MIN
 from repro.sim.rng import RandomStreams
 
-#: Engines selectable via ``SEConfig(engine=...)``.
+#: Concrete engines (each names a ``run_*`` implementation below).
 ENGINE_NAMES = ("serial", "parallel", "vectorized")
+
+#: The selection rule accepted by ``SEConfig(engine=...)`` alongside the
+#: concrete engines; resolved per solve by :func:`select_engine`.
+AUTO_ENGINE = "auto"
+
+#: Everything ``SEConfig(engine=...)`` accepts.
+SELECTABLE_ENGINES = (AUTO_ENGINE,) + ENGINE_NAMES
+
+#: Racing population ``Γ × racing threads`` at which the batched kernel's
+#: per-round numpy dispatch overhead is amortised and it beats the scalar
+#: loop.  Measured on the bench box (``benchmarks/bench_se_engines.py``):
+#: the crossover sits near work ≈ 60; 192 leaves a ~3x safety margin so
+#: ``auto`` is never slower than serial.  Machine-independent on purpose —
+#: this threshold decides the *trajectory* (scalar vs batched draws), so it
+#: must not consult ``cpu_count``.
+AUTO_VECTORIZE_MIN_WORK = 192
+
+#: Mean rounds between dynamic-event boundaries below which ``auto`` stays
+#: on the scalar family: each boundary forces the batched kernel to sync
+#: its arrays back into thread objects and rebuild them, which dominates
+#: short segments.  Also machine-independent (schedule-derived only).
+AUTO_DENSE_GAP_ROUNDS = 64
+
+#: The parallel engine is byte-identical to serial, so consulting the
+#: machine here is safe.  It only ever pays off with real cores, several
+#: replicas to fan out, and enough per-segment work to beat pickling.
+AUTO_PARALLEL_MIN_CPUS = 4
+AUTO_PARALLEL_MIN_GAMMA = 4
+AUTO_PARALLEL_MIN_WORK = 4096
+
+
+def count_racing_threads(replica: _Replica) -> int:
+    """Threads of one replica that can race (hold a swappable solution)."""
+    return sum(
+        1 for thread in replica.threads
+        if thread.solution is not None and thread.sel and thread.unsel
+    )
+
+
+def schedule_mean_gap(schedule: Optional[DynamicSchedule], max_iterations: int) -> float:
+    """Mean rounds between dynamic-event boundaries over the run budget.
+
+    Events sharing an iteration are one boundary (they are applied
+    together).  ``inf`` for a static run, so the density check below is a
+    single comparison either way.
+    """
+    if schedule is None or len(schedule) == 0:
+        return float("inf")
+    boundaries = len({event.iteration for event in schedule.events})
+    return max_iterations / (boundaries + 1)
+
+
+def select_engine(
+    config,
+    racing_threads: int,
+    schedule: Optional[DynamicSchedule] = None,
+    cpu_count: Optional[int] = None,
+) -> Tuple[str, str]:
+    """Resolve ``engine="auto"`` to a concrete engine; returns (engine, reason).
+
+    The decision tree keeps seeded runs reproducible across machines: the
+    scalar-vs-batched split (which changes the randomness consumption
+    order, hence the trajectory) depends only on the racing population and
+    the event density — both derived from the config/instance/schedule.
+    ``cpu_count`` (injectable for tests; defaults to ``os.cpu_count()``)
+    only picks between serial and parallel, which are byte-identical twins.
+    """
+    work = config.num_threads * racing_threads
+    mean_gap = schedule_mean_gap(schedule, config.max_iterations)
+    dense = mean_gap < AUTO_DENSE_GAP_ROUNDS
+    if not dense and work >= AUTO_VECTORIZE_MIN_WORK:
+        return (
+            "vectorized",
+            f"work={work} >= {AUTO_VECTORIZE_MIN_WORK}: batched kernel amortises",
+        )
+    cpus = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    if (
+        cpus >= AUTO_PARALLEL_MIN_CPUS
+        and config.num_threads >= AUTO_PARALLEL_MIN_GAMMA
+        and work >= AUTO_PARALLEL_MIN_WORK
+    ):
+        return (
+            "parallel",
+            f"dense schedule (gap {mean_gap:.0f} rounds) with work={work} "
+            f"on {cpus} cpus: replica pool beats scalar",
+        )
+    if dense and work >= AUTO_VECTORIZE_MIN_WORK:
+        return (
+            "serial",
+            f"dense schedule (gap {mean_gap:.0f} rounds): array rebuild "
+            "per boundary would dominate the batched kernel",
+        )
+    return "serial", f"work={work} < {AUTO_VECTORIZE_MIN_WORK}: scalar loop wins"
 
 
 # ------------------------------------------------------------------ #
@@ -356,6 +467,23 @@ def advance_replica_segment(replica: _Replica, rounds: int) -> Tuple[_Replica, _
 _WORKER_POOLS: Dict[int, ProcessPoolExecutor] = {}
 
 
+def clamp_workers(num_workers: int, cpu_count: Optional[int] = None) -> int:
+    """Validate and clamp a requested pool size to the machine's cores.
+
+    Oversubscribing a process pool is never a win for this workload — the
+    4-workers-on-1-core configuration is exactly what produced the 0.79x
+    ``se_engines.parallel_speedup`` bench regression — so every pool goes
+    through this clamp.  Raises on ``num_workers < 1`` (a silent serial
+    fallback would hide a caller bug).  ``cpu_count`` overrides the probed
+    core count for tests.
+    """
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    if cpu_count is None:
+        cpu_count = os.cpu_count() or 1
+    return min(num_workers, cpu_count)
+
+
 def _shared_pool(num_workers: int) -> ProcessPoolExecutor:
     """Process pool reused across solves (spawn startup is seconds-scale)."""
     pool = _WORKER_POOLS.get(num_workers)
@@ -368,13 +496,13 @@ def _shared_pool(num_workers: int) -> ProcessPoolExecutor:
 
 
 def shared_pool(num_workers: int) -> ProcessPoolExecutor:
-    """Public handle on the cached spawn-safe pool.
+    """Public handle on the cached spawn-safe pool (clamped to cpu_count).
 
     The harness's figure-sweep runner (:mod:`repro.harness.parallel`)
     reuses the same executors as the parallel SE engine, so one ``mvcom``
     invocation never pays spawn startup twice for the same pool size.
     """
-    return _shared_pool(num_workers)
+    return _shared_pool(clamp_workers(num_workers))
 
 
 def shutdown_worker_pools() -> None:
@@ -397,13 +525,7 @@ def _solution_from_log(
     ``Solution.__init__``.
     """
     utility, weight, count, selected = parts
-    solution = Solution.__new__(Solution)
-    solution.instance = instance
-    solution.selected = bytearray(selected)
-    solution._utility = utility
-    solution._weight = weight
-    solution._count = count
-    return solution
+    return Solution.from_cached(instance, selected, utility, weight, count)
 
 
 def _merge_segment(
@@ -470,7 +592,14 @@ def _rebind_instance(replicas: List[_Replica], instance: EpochInstance) -> None:
 def run_parallel(run: _EngineRun) -> SEResult:
     """Segmented Γ-replica execution over a spawn-safe process pool."""
     config = run.config
-    pool = _shared_pool(config.num_workers)
+    granted = clamp_workers(config.num_workers)
+    if granted != config.num_workers and run.traced:
+        run.telemetry.event(
+            "engine.workers_clamped",
+            requested=config.num_workers,
+            granted=granted,
+        )
+    pool = _shared_pool(granted)
     iteration = 0
     while iteration < config.max_iterations:
         run.apply_due_events(iteration)
@@ -493,13 +622,17 @@ def run_parallel(run: _EngineRun) -> SEResult:
 # vectorized engine (batched race kernel, distributional)
 # ------------------------------------------------------------------ #
 class _VectorState:
-    """Flattened array mirror of every *racing* solution thread.
+    """Flattened array mirror of every *racing* solution thread, Γ-wide.
 
     A thread races when it holds a solution with both selected and
     unselected positions; threads with nothing to swap (e.g. the
     full-cardinality :math:`f_{|I_j|}`) contribute a constant
-    ``static_current`` instead.  Rows are replica-major so per-replica
-    argmin reductions are contiguous slices.
+    ``static_current`` instead.  Rows span **all Γ replicas** in
+    replica-major order; each replica's rows additionally scatter into one
+    row of a static inf-padded ``(Γ, T_max)`` rectangle, so the per-replica
+    minimum-timer reduction is a single row-wise ``argmin`` over the
+    rectangle and the whole round — arming, racing, and every replica's
+    fire — is one batch of array ops with no per-group Python loop.
 
     Hot-path layout: per-thread ``sel``/``unsel`` index rows are stored as
     flat arrays together with ``tx``/``half_beta*value`` gather mirrors, so
@@ -509,9 +642,16 @@ class _VectorState:
     (:meth:`start_block`) — stream-equivalent to per-round draws.
     """
 
-    def __init__(self, replicas: List[_Replica], instance: EpochInstance, config) -> None:
+    def __init__(
+        self,
+        replicas: List[_Replica],
+        instance: EpochInstance,
+        config,
+        retry_rng: Optional[np.random.Generator] = None,
+    ) -> None:
         self.instance = instance
         self.replicas = replicas
+        self.retry_rng = retry_rng
         self.threads: List = []
         self.groups: List[Tuple[int, int]] = []
         static_current = float("-inf")
@@ -553,16 +693,17 @@ class _VectorState:
         self.len_sel = self.n_sel.astype(np.float64)
         self.len_unsel = self.n_unsel.astype(np.float64)
         self.slack = instance.capacity - self.weight
-        self.tx_list = instance.tx_counts_list
-        self.values_list = instance.values_list
         self.half_beta = 0.5 * config.beta
-        self.hbv_list = [self.half_beta * value for value in instance.values_list]
         self.log_mean_base = config.tau - np.log(self.len_unsel)
         self.pair_tries = config.pair_tries
         # Flat row-major stores plus gather mirrors: tx for the capacity
         # check (const. 4) and half_beta*value for the eq. (8) exponent.
         tx = np.asarray(instance.tx_counts, dtype=np.int64)
-        hbv = self.half_beta * np.asarray(instance.values, dtype=np.float64)
+        values = np.asarray(instance.values, dtype=np.float64)
+        hbv = self.half_beta * values
+        self.tx_arr = tx
+        self.values_arr = values
+        self.hbv_arr = hbv
         self.sel_flat = sel.reshape(-1)
         self.unsel_flat = unsel.reshape(-1)
         self.tx_sel = tx[sel].reshape(-1)
@@ -575,30 +716,58 @@ class _VectorState:
         self.virtual_times = np.array(
             [replica.virtual_time for replica in replicas], dtype=np.float64
         )
+        # Segmented-argmin layout: rows scatter into an inf-padded (Γ, T_max)
+        # rectangle at static positions (cardinalities never change between
+        # event boundaries), so each replica's minimum armed timer is one
+        # row-wise argmin over the rectangle — no per-group Python loop.
+        # Slots beyond a group's size are written once and never touched, so
+        # the pad buffer needs no per-round re-fill.
+        num_groups = len(self.groups)
+        self.num_groups = num_groups
+        starts = np.array([start for start, _ in self.groups], dtype=np.int64)
+        sizes = np.array([end - start for start, end in self.groups], dtype=np.int64)
+        self.group_starts = starts
+        self.group_sizes = sizes
+        pad_width = int(sizes.max()) if size else 1
+        self._pad_width = pad_width
+        row_group = np.repeat(np.arange(num_groups, dtype=np.int64), sizes)
+        self.row_group = row_group
+        self._pad_pos = row_group * pad_width + (self.rows - starts[row_group])
+        self._padded = np.full(num_groups * pad_width, np.inf)
+        self._group_index = np.arange(num_groups)
         # Running current-utility max over racing rows (same incremental
         # rule as _Replica.race_round, rescans only on downhill max fires).
         self.racing_current = float(self.utility.max()) if size else float("-inf")
+        # Per-round fire results for the driver (rewritten by race_round).
+        self.last_rows = np.empty(0, dtype=np.int64)
+        self.last_groups = np.empty(0, dtype=np.int64)
+        self.last_pos_out = np.empty(0, dtype=np.int64)
+        self.last_pos_in = np.empty(0, dtype=np.int64)
+        self.last_utilities = np.empty(0, dtype=np.float64)
+        self.last_best_row = -1
+        self.last_best_utility = float("-inf")
         self._blk_out: Optional[np.ndarray] = None
         self._blk_in: Optional[np.ndarray] = None
         self._blk_timer_base: Optional[np.ndarray] = None
 
     # -------------------------------------------------------------- #
     def start_block(self, rng: np.random.Generator, rounds: int) -> None:
-        """Draw and pre-shape ``rounds`` rounds of uniforms in one batch.
+        """Draw and pre-shape ``rounds`` rounds of main-stream uniforms.
 
-        Two draws per block: a ``(rounds, T, pair_tries, 2)`` tensor of
+        Two draws per block: a ``(rounds, T, 2)`` tensor of lane-0
         pair-index uniforms and a ``(rounds, T)`` tensor of Exp(1)
         inversion uniforms (one per thread-round — only the armed lane's
-        timer is ever needed).  C-order fill makes a block stream-identical
-        to per-round draws, so block size never changes a trajectory.
+        timer is ever needed).  Rejected rows re-draw from the separate
+        retry stream inside :meth:`race_round`, so this block's shape never
+        depends on acceptance.
         """
-        draws = rng.random((rounds, self.size, self.pair_tries, 2))
-        out = (draws[..., 0] * self.len_sel[:, None]).astype(np.int64)
-        np.minimum(out, self.n_sel[:, None] - 1, out=out)
-        out += self.off_sel[:, None]
-        inn = (draws[..., 1] * self.len_unsel[:, None]).astype(np.int64)
-        np.minimum(inn, self.n_unsel[:, None] - 1, out=inn)
-        inn += self.off_unsel[:, None]
+        draws = rng.random((rounds, self.size, 2))
+        out = (draws[..., 0] * self.len_sel).astype(np.int64)
+        np.minimum(out, self.n_sel - 1, out=out)
+        out += self.off_sel
+        inn = (draws[..., 1] * self.len_unsel).astype(np.int64)
+        np.minimum(inn, self.n_unsel - 1, out=inn)
+        inn += self.off_unsel
         self._blk_out = out
         self._blk_in = inn
         exp_draws = rng.random((rounds, self.size))
@@ -608,66 +777,129 @@ class _VectorState:
             np.maximum(-np.log1p(-exp_draws), 1e-300)
         )
 
-    def race_round(self, block_round: int) -> List[Tuple[int, int, int, int]]:
-        """One batched race round; returns fires as (group, row, out, in).
+    def race_round(self, block_round: int) -> int:
+        """One batched race round across all Γ replicas; returns the fire count.
 
         Semantics match the scalar Set-timer()/State-Transit pair: each
         thread tries up to ``pair_tries`` uniform swap pairs, arms an
         eq. (8) log-timer on the first capacity-feasible one (const. 4),
-        and each replica fires its minimum armed timer.
+        and each replica fires its minimum armed timer.  Fire details land
+        in the ``last_*`` arrays for the driver.  Fires across replicas are
+        applied as one batch — each replica fires at most one row and the
+        flat sel/unsel slots of distinct rows are disjoint, so the
+        simultaneous scatter is exactly the sequential application.
+
+        Fast path: the main block only carries lane-0 pairs, so acceptance
+        is tested with (T,)-shaped ops; just the rejected rows draw and
+        scan their remaining ``pair_tries - 1`` lanes from the retry
+        stream.  The lane chosen per thread (first feasible) matches the
+        scalar rejection loop's.
         """
         if self.size == 0:
-            return []
-        blk_out = self._blk_out[block_round]  # (T, pair_tries) views
-        blk_in = self._blk_in[block_round]
-        tx_out = self.tx_sel.take(blk_out)
-        tx_in = self.tx_unsel.take(blk_in)
-        accepted = (tx_in - tx_out) <= self.slack[:, None]
-        lane = np.argmax(accepted, axis=1)  # first feasible lane per thread
-        armed = accepted.any(axis=1)
-        rows = self.rows
-        flat_out = blk_out[rows, lane]
-        flat_in = blk_in[rows, lane]
+            self.last_rows = self.last_groups = np.empty(0, dtype=np.int64)
+            self.last_best_row = -1
+            return 0
+        flat_out = self._blk_out[block_round]  # (T,) lane-0 pair rows
+        flat_in = self._blk_in[block_round]
+        timer_base = self._blk_timer_base[block_round]
+        rejected = (
+            self.tx_unsel.take(flat_in) - self.tx_sel.take(flat_out)
+        ) > self.slack
         timers = (
-            self._blk_timer_base[block_round]
+            timer_base
             - self.hbv_unsel.take(flat_in)
             + self.hbv_sel.take(flat_out)
         )
-        timers[~armed] = np.inf  # parked: no feasible pair within the budget
-        fires: List[Tuple[int, int, int, int]] = []
-        for group, (start, end) in enumerate(self.groups):
-            if end == start:
-                continue
-            row = start + int(np.argmin(timers[start:end]))
-            log_min = float(timers[row])
-            if math.isinf(log_min):
-                continue  # no thread in this replica armed a feasible pair
-            self.virtual_times[group] += clamped_exp(log_min)
-            swap_out = int(self.sel_flat[flat_out[row]])
-            swap_in = int(self.unsel_flat[flat_in[row]])
-            self._fire(row, int(flat_out[row]), int(flat_in[row]), swap_out, swap_in)
-            fires.append((group, row, swap_out, swap_in))
-        return fires
-
-    def _fire(
-        self, row: int, flat_out: int, flat_in: int, pos_out: int, pos_in: int
-    ) -> None:
-        self.sel_flat[flat_out] = pos_in
-        self.unsel_flat[flat_in] = pos_out
-        self.tx_sel[flat_out] = self.tx_list[pos_in]
-        self.tx_unsel[flat_in] = self.tx_list[pos_out]
-        self.hbv_sel[flat_out] = self.hbv_list[pos_in]
-        self.hbv_unsel[flat_in] = self.hbv_list[pos_out]
-        weight_delta = self.tx_list[pos_in] - self.tx_list[pos_out]
-        self.weight[row] += weight_delta
-        self.slack[row] -= weight_delta
-        before = float(self.utility[row])
-        after = before + (self.values_list[pos_in] - self.values_list[pos_out])
-        self.utility[row] = after
-        if after > self.racing_current:
-            self.racing_current = after
-        elif before == self.racing_current and after < before:
+        if rejected.any():
+            pend = np.flatnonzero(rejected)
+            tries = self.pair_tries - 1
+            if tries == 0:
+                timers[pend] = np.inf  # single-try budget: rejected rows park
+            else:
+                if self.retry_rng is None:
+                    raise RuntimeError(
+                        "race_round needs a retry stream once a lane-0 pair is "
+                        "rejected; construct _VectorState with retry_rng"
+                    )
+                retry = self.retry_rng.random((pend.size, tries, 2))
+                sub_out = (retry[..., 0] * self.len_sel[pend, None]).astype(np.int64)
+                np.minimum(sub_out, self.n_sel[pend, None] - 1, out=sub_out)
+                sub_out += self.off_sel[pend, None]
+                sub_in = (retry[..., 1] * self.len_unsel[pend, None]).astype(np.int64)
+                np.minimum(sub_in, self.n_unsel[pend, None] - 1, out=sub_in)
+                sub_in += self.off_unsel[pend, None]
+                accepted = (
+                    self.tx_unsel.take(sub_in) - self.tx_sel.take(sub_out)
+                ) <= self.slack[pend, None]
+                lane = np.argmax(accepted, axis=1)  # first feasible lane
+                sub_rows = self.rows[: pend.size]
+                pend_out = sub_out[sub_rows, lane]
+                pend_in = sub_in[sub_rows, lane]
+                flat_out = flat_out.copy()
+                flat_in = flat_in.copy()
+                flat_out[pend] = pend_out
+                flat_in[pend] = pend_in
+                timers[pend] = (
+                    timer_base.take(pend)
+                    - self.hbv_unsel.take(pend_in)
+                    + self.hbv_sel.take(pend_out)
+                )
+                # Parked: no feasible pair within the budget.
+                timers[pend[~accepted.any(axis=1)]] = np.inf
+        # Segmented per-replica argmin over the static inf-padded rectangle.
+        padded = self._padded
+        padded[self._pad_pos] = timers
+        rect = padded.reshape(self.num_groups, self._pad_width)
+        slots = rect.argmin(axis=1)
+        win_log = rect[self._group_index, slots]
+        # Empty groups / all-parked replicas stay at inf and do not fire.
+        groups = np.flatnonzero(np.isfinite(win_log))
+        if groups.size == 0:
+            self.last_rows = self.last_groups = np.empty(0, dtype=np.int64)
+            self.last_best_row = -1
+            return 0
+        rows = self.group_starts[groups] + slots[groups]
+        self.virtual_times[groups] += np.exp(
+            np.clip(win_log[groups], LOG_DURATION_MIN, LOG_DURATION_MAX)
+        )
+        # Batched State Transit over the winning rows.
+        f_out = flat_out[rows]
+        f_in = flat_in[rows]
+        pos_out = self.sel_flat[f_out]  # fancy gather: already copies
+        pos_in = self.unsel_flat[f_in]
+        self.sel_flat[f_out] = pos_in
+        self.unsel_flat[f_in] = pos_out
+        tx_in = self.tx_arr[pos_in]
+        tx_out = self.tx_arr[pos_out]
+        self.tx_sel[f_out] = tx_in
+        self.tx_unsel[f_in] = tx_out
+        self.hbv_sel[f_out] = self.hbv_arr[pos_in]
+        self.hbv_unsel[f_in] = self.hbv_arr[pos_out]
+        weight_delta = tx_in - tx_out
+        self.weight[rows] += weight_delta
+        self.slack[rows] -= weight_delta
+        before = self.utility[rows]
+        after = before + (self.values_arr[pos_in] - self.values_arr[pos_out])
+        self.utility[rows] = after
+        # Same incremental current-utility rule as _Replica.race_round,
+        # applied to the whole fire batch: a rise can only raise the max; a
+        # downgrade of a max-holder forces one rescan.
+        top = int(np.argmax(after))
+        top_utility = float(after[top])
+        if top_utility > self.racing_current:
+            self.racing_current = top_utility
+        elif np.any((before == self.racing_current) & (after < before)):
             self.racing_current = float(self.utility.max())
+        self.last_rows = rows
+        self.last_groups = groups
+        self.last_pos_out = pos_out
+        self.last_pos_in = pos_in
+        self.last_utilities = after
+        # Rows are replica-major ascending and argmax takes the first max,
+        # so this reproduces the serial lowest-replica tie-break.
+        self.last_best_row = int(rows[top])
+        self.last_best_utility = top_utility
+        return int(rows.size)
 
     def current_utility(self) -> float:
         """Best current utility across racing and static threads."""
@@ -681,13 +913,13 @@ class _VectorState:
         offset = int(self.off_sel[row])
         mask = np.zeros(self.num_shards, dtype=bool)
         mask[self.sel_flat[offset : offset + count]] = True
-        solution = Solution.__new__(Solution)
-        solution.instance = self.instance
-        solution.selected = bytearray(mask.view(np.uint8).tobytes())
-        solution._utility = float(self.utility[row])
-        solution._weight = int(self.weight[row])
-        solution._count = count
-        return solution
+        return Solution.from_cached(
+            self.instance,
+            mask.view(np.uint8).tobytes(),
+            float(self.utility[row]),
+            int(self.weight[row]),
+            count,
+        )
 
     def sync_back(self) -> None:
         """Write array state back into the thread objects (event boundaries)."""
@@ -704,6 +936,7 @@ def run_vectorized(run: _EngineRun) -> SEResult:
     telemetry = run.telemetry
     traced = run.traced
     race_rng = run.streams.get("vectorized-race")
+    retry_rng = run.streams.get("vectorized-race-retry")
     state: Optional[_VectorState] = None
     iteration = 0
     done = False
@@ -719,40 +952,39 @@ def run_vectorized(run: _EngineRun) -> SEResult:
                 state = None
             run.apply_due_events(iteration)
         if state is None:
-            state = _VectorState(run.replicas, run.instance, config)
+            state = _VectorState(run.replicas, run.instance, config, retry_rng=retry_rng)
         segment = run.segment_length(iteration)
         block_round = 0
         block_rounds = 0
         for round_index in range(iteration, iteration + segment):
             if block_round >= block_rounds:
                 remaining = iteration + segment - round_index
-                block_rounds = min(remaining, max(1, 8192 // max(1, state.size)))
+                block_rounds = min(remaining, max(1, 65536 // max(1, state.size)))
                 state.start_block(race_rng, block_rounds)
                 block_round = 0
-            fires = state.race_round(block_round)
+            transitions = state.race_round(block_round)
             block_round += 1
-            best_row = -1
-            best_fired = float("-inf")
-            for group, row, swap_out, swap_in in fires:
-                fired_utility = float(state.utility[row])
+            if transitions:
                 if traced:
-                    telemetry.event(
-                        "se.transition",
-                        iteration=round_index,
-                        replica=group,
-                        cardinality=int(state.cards[row]),
-                        swap_out=swap_out,
-                        swap_in=swap_in,
-                        utility=fired_utility,
-                    )
-                if fired_utility > best_fired:
-                    best_fired = fired_utility
-                    best_row = row
-            if best_row >= 0 and best_fired > run.best.utility:
-                run.best = state.solution_at(best_row)
+                    for k in range(transitions):
+                        row = int(state.last_rows[k])
+                        telemetry.event(
+                            "se.transition",
+                            iteration=round_index,
+                            replica=int(state.last_groups[k]),
+                            cardinality=int(state.cards[row]),
+                            swap_out=int(state.last_pos_out[k]),
+                            swap_in=int(state.last_pos_in[k]),
+                            utility=float(state.last_utilities[k]),
+                        )
+                if state.last_best_utility > run.best.utility:
+                    run.best = state.solution_at(state.last_best_row)
             current = state.current_utility()
-            virtual_time = float(state.virtual_times.max()) if state.size else 0.0
-            if run.finish_round(round_index, current, virtual_time, len(fires)):
+            # Replica virtual clocks exist (and carry across events) even
+            # when no thread races — an all-parked or swap-less population
+            # must report the carried clock, not reset it to zero.
+            virtual_time = float(state.virtual_times.max())
+            if run.finish_round(round_index, current, virtual_time, transitions):
                 done = True
                 break
         else:
@@ -777,9 +1009,24 @@ def run_engine(
     solution satisfies const. (3) ``count >= N_min`` and const. (4)
     ``weight <= Ĉ``; ``serial`` and ``parallel`` are byte-identical for a
     given ``SEConfig.seed``, ``vectorized`` matches distributionally.
+    ``"auto"`` resolves through :func:`select_engine` (machine-independent
+    scalar-vs-batched split; ``cpu_count`` only arbitrates within the
+    byte-identical scalar family) and logs the decision as an
+    ``engine.auto`` telemetry event.
     """
     run = _EngineRun(solver, instance, schedule, probe)
     engine = solver.config.engine
+    if engine == AUTO_ENGINE:
+        racing = count_racing_threads(run.replicas[0])
+        engine, reason = select_engine(solver.config, racing, schedule=schedule)
+        if run.traced:
+            run.telemetry.event(
+                "engine.auto",
+                engine=engine,
+                reason=reason,
+                work=solver.config.num_threads * racing,
+                racing_threads=racing,
+            )
     if engine == "parallel":
         return run_parallel(run)
     if engine == "vectorized":

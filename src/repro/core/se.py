@@ -68,10 +68,14 @@ class SEConfig:
     ``init_tries`` bounds Alg. 2's "re-pick until Cons. (4) holds" loop.
 
     ``engine`` selects the execution engine (:mod:`repro.core.engine`):
+    the default ``"auto"`` resolves per solve via
+    :func:`repro.core.engine.select_engine` (machine-independent
+    scalar-vs-batched split, so seeded trajectories reproduce everywhere);
     ``"serial"`` is the reference scalar loop, ``"parallel"`` fans the Γ
-    replicas across a spawn-safe process pool (``num_workers`` processes)
-    with byte-identical results, and ``"vectorized"`` runs a batched
-    single-process race kernel validated distributionally.
+    replicas across a spawn-safe process pool (``num_workers`` processes,
+    clamped to ``os.cpu_count()``) with byte-identical results, and
+    ``"vectorized"`` runs the fully-batched Γ×thread race kernel validated
+    distributionally.
     """
 
     beta: float = DEFAULT_BETA
@@ -85,7 +89,7 @@ class SEConfig:
     init_tries: int = 200
     include_full_solution: bool = True
     max_solution_threads: Optional[int] = 64
-    engine: str = "serial"
+    engine: str = "auto"
     num_workers: int = 4
 
     def __post_init__(self) -> None:
@@ -99,9 +103,12 @@ class SEConfig:
             raise ValueError("retry budgets must be positive")
         if self.max_solution_threads is not None and self.max_solution_threads <= 0:
             raise ValueError("max_solution_threads must be positive or None")
-        if self.engine not in ("serial", "parallel", "vectorized"):
+        # Mirrors repro.core.engine.SELECTABLE_ENGINES (engine imports se,
+        # so validating against the literal avoids the circular import).
+        if self.engine not in ("auto", "serial", "parallel", "vectorized"):
             raise ValueError(
-                f"unknown engine {self.engine!r}; expected serial, parallel or vectorized"
+                f"unknown engine {self.engine!r}; expected auto, serial, "
+                "parallel or vectorized"
             )
         if self.num_workers <= 0:
             raise ValueError("num_workers must be positive")
@@ -182,22 +189,30 @@ class _SolutionThread:
         self.last_swap: Optional[tuple] = None
 
     def set_solution(self, solution: Optional[Solution]) -> None:
-        """Install a solution and rebuild the pair-sampling index lists."""
+        """Install a solution and rebuild the pair-sampling index lists.
+
+        Vectorised: ``flatnonzero`` yields the same ascending position
+        order the original scalar scan produced, so serial trajectories
+        (which draw pairs by list slot) are byte-identical either way.
+        This runs Γ×T times at spawn and at every engine sync-back, which
+        made the scalar scan a measurable fixed cost for the batched
+        kernel on thread-rich instances.
+        """
         self.solution = solution
         self.timer = None
         if solution is None:
             self.sel, self.unsel, self.loc = [], [], []
             self.active = False
             return
-        self.sel, self.unsel = [], []
-        self.loc = [0] * len(solution.selected)
-        for position, chosen in enumerate(solution.selected):
-            if chosen:
-                self.loc[position] = len(self.sel)
-                self.sel.append(position)
-            else:
-                self.loc[position] = len(self.unsel)
-                self.unsel.append(position)
+        mask = solution.mask
+        sel_arr = np.flatnonzero(mask)
+        unsel_arr = np.flatnonzero(~mask)
+        loc = np.empty(mask.size, dtype=np.int64)
+        loc[sel_arr] = np.arange(sel_arr.size)
+        loc[unsel_arr] = np.arange(unsel_arr.size)
+        self.sel = sel_arr.tolist()
+        self.unsel = unsel_arr.tolist()
+        self.loc = loc.tolist()
         self.active = True
 
     # -------------------------------------------------------------- #

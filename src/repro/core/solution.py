@@ -52,6 +52,32 @@ class Solution:
         mask[np.asarray(list(indices), dtype=np.int64)] = True
         return cls(instance, mask)
 
+    @classmethod
+    def from_cached(
+        cls,
+        instance: EpochInstance,
+        selected: "bytes | bytearray",
+        utility: float,
+        weight: int,
+        count: int,
+    ) -> "Solution":
+        """Rehydrate a selection whose aggregates are already known.
+
+        The engines' hot paths (worker segment logs, the batched race
+        kernel's array rows) carry the incremental float caches alongside
+        the mask; recomputing utility from the mask can differ in the last
+        bit, so this constructor installs the caches verbatim instead of
+        calling :meth:`recompute`.  The caller owns the invariant that the
+        aggregates match the mask.
+        """
+        solution = cls.__new__(cls)
+        solution.instance = instance
+        solution.selected = bytearray(selected)
+        solution._utility = utility
+        solution._weight = weight
+        solution._count = count
+        return solution
+
     def copy(self) -> "Solution":
         """Independent deep copy (shares only the immutable instance).
 

@@ -298,7 +298,10 @@ def replay_reproducer(
 
     ``engine`` selects the SE execution engine; the parallel engine is
     byte-identical to serial, so a reproducer replays to the same outcome
-    on either.
+    on either.  Storms deliberately default to ``serial`` rather than
+    ``auto``: a reproducer must replay byte-for-byte on any machine, and
+    ``auto`` may route large instances to the distributional batched
+    kernel.
     """
     config = StormConfig(**reproducer["config"])
     events = [event_from_json(payload) for payload in reproducer["events"]]

@@ -30,7 +30,7 @@ from typing import Callable, Dict
 
 from repro.chain.params import CHAIN_ENGINE_NAMES
 from repro.harness import experiments
-from repro.harness.parallel import SWEEP_FIGURES
+from repro.harness.parallel import SWEEP_FIGURES, resolve_sweep_workers
 from repro.harness.presets import PRESETS, list_presets
 from repro.harness.report import render_table, sample_trace, traces_table, traces_to_rows, write_csv
 from repro.harness.textplot import line_plot
@@ -61,8 +61,11 @@ def runner_kwargs(name: str, args) -> dict:
     if name == "fig02" and args.chain_engine is not None:
         kwargs["chain_engine"] = args.chain_engine
     if name in SWEEP_FIGURES:
+        workers, warning = resolve_sweep_workers(args.sweep_workers)
+        if args.parallel and warning is not None:
+            print(warning, file=sys.stderr)
         kwargs["parallel"] = args.parallel
-        kwargs["sweep_workers"] = args.sweep_workers
+        kwargs["sweep_workers"] = workers
     return kwargs
 
 
@@ -290,14 +293,17 @@ def main(argv=None) -> int:
                         help="solve: workload + solver seed (default 0)")
     parser.add_argument("--iterations", type=int, default=2000,
                         help="solve: SE iteration budget (default 2000)")
-    parser.add_argument("--engine", choices=["serial", "parallel", "vectorized"],
-                        default="serial",
-                        help="solve: SE execution engine (default serial; "
-                        "parallel is byte-identical across a process pool, "
-                        "vectorized is a batched distributional kernel)")
+    parser.add_argument("--engine",
+                        choices=["auto", "serial", "parallel", "vectorized"],
+                        default="auto",
+                        help="solve: SE execution engine (default auto picks "
+                        "the fastest safe path from the racing-thread count, "
+                        "Gamma, and cpu_count; parallel is byte-identical "
+                        "across a process pool, vectorized is the batched "
+                        "distributional kernel)")
     parser.add_argument("--workers", type=int, default=4,
                         help="solve: process-pool size for --engine parallel "
-                        "(default 4)")
+                        "(default 4, clamped to cpu_count)")
     parser.add_argument("--chain-engine", choices=list(CHAIN_ENGINE_NAMES),
                         default=None,
                         help="fig02/solve: chain substrate implementation "
@@ -307,9 +313,11 @@ def main(argv=None) -> int:
                         help="fig10-fig14: fan trial loops over the shared "
                         "process pool; artifacts stay byte-identical to the "
                         "serial runner")
-    parser.add_argument("--sweep-workers", type=int, default=4,
-                        help="fig10-fig14: process-pool size for --parallel "
-                        "(default 4)")
+    parser.add_argument("--sweep-workers", default="auto",
+                        help="fig10-fig14: process-pool size for --parallel; "
+                        "'auto' (the default) stays serial on boxes with "
+                        "<= 2 cpus, where the recorded bench shows the pool "
+                        "losing")
     parser.add_argument("--top", type=int, default=10,
                         help="solve/trace: rows per summary table (default 10)")
     parser.add_argument("--events", type=int, default=200,

@@ -19,14 +19,77 @@ wall-clock only.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, TypeVar
+import json
+import os
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar, Union
 
-from repro.core.engine import shared_pool
+from repro.core.engine import clamp_workers, shared_pool
 
 T = TypeVar("T")
 
 #: Figures whose runners accept ``parallel=`` / ``sweep_workers=``.
 SWEEP_FIGURES = ("fig10", "fig11", "fig12", "fig13", "fig14")
+
+#: Default pool size when ``--sweep-workers auto`` lands on a multi-core box.
+AUTO_SWEEP_WORKERS = 4
+
+#: ``auto`` falls back to the serial loop at or below this core count — the
+#: recorded bench shows the pool losing outright there (pickling cost with
+#: no parallelism to pay for it).
+AUTO_SWEEP_MIN_CPUS = 3
+
+
+def _recorded_sweep_speedup() -> Optional[float]:
+    """Best-effort read of the recorded sweep speedup from the bench file.
+
+    Returns ``chain_fastpath.sweep_speedup`` from ``BENCH_se_convergence.json``
+    at the repo root, or ``None`` when running from an installed package (no
+    bench file in sight) — callers fall back to the core-count heuristic.
+    """
+    bench = Path(__file__).resolve().parents[3] / "BENCH_se_convergence.json"
+    try:
+        record = json.loads(bench.read_text())
+        return float(record["chain_fastpath"]["sweep_speedup"])
+    except (OSError, KeyError, TypeError, ValueError):
+        return None
+
+
+def resolve_sweep_workers(
+    requested: Union[int, str, None] = "auto",
+    cpu_count: Optional[int] = None,
+) -> Tuple[int, Optional[str]]:
+    """Resolve a ``--sweep-workers`` value to ``(workers, warning)``.
+
+    ``"auto"`` (the default) keeps the sweep serial when the box exposes
+    ``cpu_count <= 2`` — the configuration where the recorded bench shows
+    the pool losing (``chain_fastpath.sweep_speedup`` 0.25x on 1 core) —
+    and otherwise grants ``min(AUTO_SWEEP_WORKERS, cpu_count)``.  An
+    explicit integer is honoured (clamped to the core count, like
+    :func:`repro.core.engine.clamp_workers`) but comes back with a one-line
+    warning when the recorded bench says this box loses, so ``--parallel``
+    never silently runs a known-regressing path.
+    """
+    cpus = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    if requested in ("auto", None):
+        if cpus < AUTO_SWEEP_MIN_CPUS:
+            return 1, None
+        return min(AUTO_SWEEP_WORKERS, cpus), None
+    requested = int(requested)
+    workers = clamp_workers(requested, cpu_count=cpus)
+    if requested > 1 and cpus < AUTO_SWEEP_MIN_CPUS:
+        recorded = _recorded_sweep_speedup()
+        detail = (
+            f"recorded bench sweep_speedup {recorded:.2f}x"
+            if recorded is not None
+            else "recorded bench shows the pool losing"
+        )
+        return workers, (
+            f"warning: parallel sweep requested {requested} workers on a "
+            f"{cpus}-cpu box ({detail}); granting {workers} — "
+            f"use --sweep-workers auto to stay serial here"
+        )
+    return workers, None
 
 
 def map_trials(
@@ -52,17 +115,19 @@ def run_sweep(
     figure: str,
     preset=None,
     parallel: bool = True,
-    num_workers: int = 4,
+    num_workers: Union[int, str] = "auto",
 ) -> dict:
     """Run one sweep figure end to end, fanning trials over the pool.
 
     Thin dispatch used by the CLI and the benches; equivalent to calling
     the figure's runner with ``parallel=``/``sweep_workers=`` directly.
+    ``num_workers`` accepts ``"auto"`` (see :func:`resolve_sweep_workers`).
     """
     from repro.harness import experiments  # deferred: experiments imports us
 
     if figure not in SWEEP_FIGURES:
         raise ValueError(f"not a sweep figure: {figure!r} (expected one of {SWEEP_FIGURES})")
+    num_workers, _ = resolve_sweep_workers(num_workers)
     runners = {
         "fig10": experiments.run_fig10_valuable_degree,
         "fig11": experiments.run_fig11_vary_committees,

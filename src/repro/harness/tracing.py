@@ -116,7 +116,7 @@ def traced_solve(
     profile: bool = False,
     top_n: int = 10,
     telemetry: Optional[Telemetry] = None,
-    engine: str = "serial",
+    engine: str = "auto",
     num_workers: int = 4,
     chain_engine: str = "des",
     resources: bool = False,
@@ -130,10 +130,12 @@ def traced_solve(
     solver call additionally runs under cProfile and its top-``top_n``
     hotspots land in the same stream as a ``profile.hotspots`` event.
 
-    ``engine`` selects the SE execution engine (``serial``, ``parallel``
-    or ``vectorized``; see :mod:`repro.core.engine`) and ``num_workers``
-    sizes the parallel engine's process pool — telemetry and probes keep
-    firing on the driver at segment boundaries for every engine.
+    ``engine`` selects the SE execution engine (``auto`` — the default —
+    resolves to ``serial``, ``parallel`` or ``vectorized`` per
+    :func:`repro.core.engine.select_engine` and logs the pick as an
+    ``engine.auto`` event) and ``num_workers`` sizes the parallel
+    engine's process pool — telemetry and probes keep firing on the
+    driver at segment boundaries for every engine.
     ``chain_engine`` selects the substrate for the final PBFT round
     (``des`` reference simulation or the ``fastpath`` closed-form kernel;
     see :mod:`repro.chain.fastpath`).  With ``resources=True`` the

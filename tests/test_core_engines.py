@@ -23,7 +23,12 @@ import numpy as np
 import pytest
 
 from repro.core import engine as engine_module
-from repro.core.dynamics import fail_and_recover_schedule
+from repro.core.dynamics import (
+    CommitteeEvent,
+    DynamicSchedule,
+    EventKind,
+    fail_and_recover_schedule,
+)
 from repro.core.problem import EpochInstance, MVComConfig
 from repro.core.se import SEConfig, SEResult, StochasticExploration
 from repro.data.workload import WorkloadConfig, generate_epoch_workload
@@ -368,3 +373,258 @@ class TestVectorizedBehaviour:
         assert len(result.events_applied) == 2
         final = result.final_instance
         assert final.weight(result.best_mask) <= final.capacity
+
+
+# ---------------------------------------------------------------------- #
+# engine="auto" selection and equivalence
+# ---------------------------------------------------------------------- #
+class _CaptureSink:
+    """Minimal telemetry sink: keeps every record for assertions."""
+
+    def __init__(self):
+        self.records = []
+
+    def emit(self, record):
+        self.records.append(record)
+
+    def close(self):
+        pass
+
+
+def _dense_schedule(max_iterations, every=10):
+    """A schedule whose mean event gap is well under AUTO_DENSE_GAP_ROUNDS."""
+    return DynamicSchedule(events=[
+        CommitteeEvent(iteration=i, kind=EventKind.LEAVE, shard_id=0)
+        for i in range(0, max_iterations, every)
+    ])
+
+
+class TestAutoEngine:
+    def test_selectable_engines_exported(self):
+        assert engine_module.SELECTABLE_ENGINES == (
+            "auto", "serial", "parallel", "vectorized"
+        )
+        assert SEConfig().engine == engine_module.AUTO_ENGINE
+
+    @pytest.mark.parametrize("gamma,racing,cpus,dense,expected", [
+        # Small work: the scalar loop wins regardless of the core count.
+        (2, 10, 1, False, "serial"),
+        (2, 10, 64, False, "serial"),
+        # Sparse schedule + big work: batched kernel, cpu-independent.
+        (8, 60, 1, False, "vectorized"),
+        (8, 60, 64, False, "vectorized"),
+        # Dense schedule forces the byte-identical scalar family; the pool
+        # only pays off with enough cores, replicas and work.
+        (8, 600, 64, True, "parallel"),
+        (8, 600, 2, True, "serial"),
+        (2, 600, 64, True, "serial"),   # Gamma < AUTO_PARALLEL_MIN_GAMMA
+        (8, 100, 64, True, "serial"),   # work < AUTO_PARALLEL_MIN_WORK
+    ])
+    def test_selection_matrix(self, gamma, racing, cpus, dense, expected):
+        config = SEConfig(
+            num_threads=gamma, max_iterations=400, convergence_window=100
+        )
+        schedule = _dense_schedule(400) if dense else None
+        engine, reason = engine_module.select_engine(
+            config, racing, schedule=schedule, cpu_count=cpus
+        )
+        assert engine == expected, reason
+
+    def test_selection_is_machine_independent_for_the_batched_split(self):
+        """The scalar-vs-batched decision (the only trajectory-changing
+        split) never consults cpu_count: serial and parallel are
+        byte-identical twins, so only they may differ by machine."""
+        config = SEConfig(num_threads=8, max_iterations=400,
+                          convergence_window=100)
+        picks = {
+            engine_module.select_engine(config, 60, cpu_count=cpus)[0]
+            for cpus in (1, 2, 4, 64)
+        }
+        assert picks == {"vectorized"}
+
+    def test_auto_small_instance_byte_identical_to_serial(self):
+        """Default solve_with instance has work << AUTO_VECTORIZE_MIN_WORK,
+        so auto must resolve to serial and reproduce its exact bytes."""
+        assert_byte_identical(solve_with("auto"), solve_with("serial"))
+
+    def test_auto_big_instance_matches_vectorized_and_logs_decision(self):
+        """On a thread-rich instance auto resolves to the batched kernel:
+        the pick is logged as an engine.auto event and the run is
+        byte-identical to engine="vectorized" (same streams, same kernel) —
+        which carries over the χ²-vs-Gibbs / KS validation of the batched
+        kernel to every auto→batched pick."""
+        from repro.obs.telemetry import Telemetry
+
+        workload = generate_epoch_workload(
+            WorkloadConfig(num_committees=150, capacity=150_000, seed=2)
+        )
+        kwargs = dict(num_threads=8, max_iterations=120,
+                      convergence_window=10 ** 6, seed=2)
+        sink = _CaptureSink()
+        hub = Telemetry(sinks=[sink])
+        auto_result = StochasticExploration(
+            SEConfig(engine="auto", **kwargs), telemetry=hub
+        ).solve(workload.instance)
+        hub.close()
+        decisions = [r for r in sink.records if r.get("name") == "engine.auto"]
+        assert len(decisions) == 1
+        assert decisions[0]["engine"] == "vectorized"
+        assert decisions[0]["work"] >= engine_module.AUTO_VECTORIZE_MIN_WORK
+        explicit = StochasticExploration(
+            SEConfig(engine="vectorized", **kwargs)
+        ).solve(workload.instance)
+        assert_byte_identical(auto_result, explicit)
+
+    def test_auto_batched_picks_match_serial_distributionally(self):
+        """KS over 30 seeds on an instance where auto picks the batched
+        kernel: converged utilities indistinguishable from serial
+        (alpha=0.01 => D < 1.628*sqrt(2/n))."""
+        serial_u, auto_u = [], []
+        for seed in range(30):
+            for engine, sink in (("serial", serial_u), ("auto", auto_u)):
+                result = solve_with(
+                    engine, num_committees=40, capacity=32_000, seed=seed,
+                    gamma=8, max_iterations=250, convergence_window=120,
+                )
+                sink.append(result.best_utility)
+        a = np.sort(np.asarray(serial_u))
+        b = np.sort(np.asarray(auto_u))
+        grid = np.union1d(a, b)
+        cdf_a = np.searchsorted(a, grid, side="right") / a.size
+        cdf_b = np.searchsorted(b, grid, side="right") / b.size
+        d_stat = float(np.abs(cdf_a - cdf_b).max())
+        d_crit = 1.628 * math.sqrt((a.size + b.size) / (a.size * b.size))
+        assert d_stat < d_crit
+
+
+# ---------------------------------------------------------------------- #
+# worker clamping (pool oversubscription bugfix)
+# ---------------------------------------------------------------------- #
+class TestWorkerClamp:
+    def test_clamp_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            engine_module.clamp_workers(0)
+        with pytest.raises(ValueError):
+            engine_module.shared_pool(0)
+
+    def test_clamp_caps_to_cores(self):
+        assert engine_module.clamp_workers(8, cpu_count=2) == 2
+        assert engine_module.clamp_workers(2, cpu_count=8) == 2
+        assert engine_module.clamp_workers(1, cpu_count=1) == 1
+
+    def test_run_parallel_emits_clamp_event(self, monkeypatch):
+        from repro.obs.telemetry import Telemetry
+
+        monkeypatch.setattr(engine_module.os, "cpu_count", lambda: 1)
+        sink = _CaptureSink()
+        hub = Telemetry(sinks=[sink])
+        config = SEConfig(
+            num_threads=2, max_iterations=20, convergence_window=10 ** 6,
+            seed=0, engine="parallel", num_workers=2,
+        )
+        StochasticExploration(config, telemetry=hub).solve(_frozen_instance())
+        hub.close()
+        clamps = [r for r in sink.records
+                  if r.get("name") == "engine.workers_clamped"]
+        assert clamps
+        assert clamps[0]["requested"] == 2
+        assert clamps[0]["granted"] == 1
+
+    def test_resolve_sweep_workers(self):
+        from repro.harness.parallel import resolve_sweep_workers
+
+        assert resolve_sweep_workers("auto", cpu_count=1) == (1, None)
+        assert resolve_sweep_workers("auto", cpu_count=2) == (1, None)
+        assert resolve_sweep_workers("auto", cpu_count=3) == (3, None)
+        assert resolve_sweep_workers("auto", cpu_count=16) == (4, None)
+        workers, warning = resolve_sweep_workers(4, cpu_count=8)
+        assert (workers, warning) == (4, None)
+        workers, warning = resolve_sweep_workers(4, cpu_count=1)
+        assert workers == 1
+        assert warning is not None and "warning" in warning
+        with pytest.raises(ValueError):
+            resolve_sweep_workers(0, cpu_count=4)
+
+
+# ---------------------------------------------------------------------- #
+# batched-kernel accounting regressions (all-parked rounds, empty racing
+# set, racing_current downgrade bookkeeping)
+# ---------------------------------------------------------------------- #
+class TestBatchedAccounting:
+    def test_all_parked_rounds_are_byte_identical_to_serial(self):
+        """On the frozen instance every pair is rejected, so every round is
+        all-parked: no timer fires, no utility moves, no virtual time
+        accrues.  Serial and batched must then agree bit-for-bit — same
+        iteration count (all-parked rounds still feed the convergence
+        detector), same constant traces, same zero virtual time."""
+        instance = _frozen_instance()
+        results = {}
+        for engine in ("serial", "vectorized"):
+            config = SEConfig(
+                num_threads=3, max_iterations=400, convergence_window=100,
+                seed=11, engine=engine,
+            )
+            results[engine] = StochasticExploration(config).solve(instance)
+        assert_byte_identical(results["serial"], results["vectorized"])
+        assert results["vectorized"].converged
+        assert float(results["vectorized"].virtual_time_trace[-1]) == 0.0
+
+    @pytest.mark.parametrize("engine", ["serial", "vectorized"])
+    def test_leave_emptying_racing_set_keeps_virtual_time(self, engine):
+        """A LEAVE that removes the last swappable pair empties the racing
+        set mid-run.  The replica clocks advanced before the event must
+        survive into every later trace entry (regression: the batched path
+        reported 0.0 once no rows raced)."""
+        config = MVComConfig(alpha=4.0, capacity=100, n_min_fraction=0.4)
+        instance = EpochInstance(
+            tx_counts=[5, 5], latencies=[5.0, 9.0], config=config, ddl=10.0
+        )
+        schedule = DynamicSchedule(events=[
+            CommitteeEvent(iteration=20, kind=EventKind.LEAVE,
+                           shard_id=int(instance.shard_ids[1]))
+        ])
+        se_config = SEConfig(
+            num_threads=2, max_iterations=200, convergence_window=50,
+            seed=3, engine=engine,
+        )
+        result = StochasticExploration(se_config).solve(
+            instance, schedule=schedule
+        )
+        assert len(result.events_applied) == 1
+        trace = np.asarray(result.virtual_time_trace)
+        carried = float(trace[25])
+        assert carried > 0.0  # clocks ran before the event
+        assert np.all(trace[25:] == carried)
+
+    def test_racing_current_tracks_utility_max_through_downgrades(self):
+        """Drive the batched kernel round by round and pin the downgrade
+        bookkeeping: after every round racing_current must equal the exact
+        max over the racing rows' utilities, including rounds where the
+        leading thread swapped downhill and a full rescan is required."""
+        instance = _flat_race_instance(12)
+        config = SEConfig(
+            num_threads=4, max_iterations=600, convergence_window=10 ** 6,
+            seed=5, engine="vectorized", beta=1.0 / 60.0,
+        )
+        solver = StochasticExploration(config)
+        run = engine_module._EngineRun(solver, instance, None, None)
+        state = engine_module._VectorState(
+            run.replicas, instance, solver.config,
+            retry_rng=run.streams.get("vectorized-race-retry"),
+        )
+        race_rng = run.streams.get("vectorized-race")
+        downgrades = 0
+        done, rounds = 0, 600
+        previous_max = float(state.utility.max())
+        while done < rounds:
+            block = min(rounds - done, 128)
+            state.start_block(race_rng, block)
+            for k in range(block):
+                state.race_round(k)
+                current_max = float(state.utility.max())
+                assert state.racing_current == current_max
+                if current_max < previous_max:
+                    downgrades += 1
+                previous_max = current_max
+            done += block
+        assert downgrades > 0  # the rescan path was actually exercised

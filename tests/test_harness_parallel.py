@@ -11,7 +11,12 @@ import pytest
 from repro.harness import experiments
 from repro.harness.artifacts import _ArtifactEncoder, write_artifact
 from repro.harness.cli import runner_kwargs
-from repro.harness.parallel import SWEEP_FIGURES, map_trials, run_sweep
+from repro.harness.parallel import (
+    SWEEP_FIGURES,
+    map_trials,
+    resolve_sweep_workers,
+    run_sweep,
+)
 from repro.harness.presets import PRESETS
 
 
@@ -96,8 +101,18 @@ class TestCliWiring:
         return argparse.Namespace(**base)
 
     def test_sweep_figures_receive_parallel_kwargs(self):
+        # Explicit worker counts are resolved (clamped to the core count,
+        # with a stderr warning on low-core boxes) rather than passed
+        # through verbatim — the 0.25x-sweep-on-1-core bugfix.
         kwargs = runner_kwargs("fig10", self.args(parallel=True, sweep_workers=8))
-        assert kwargs == {"parallel": True, "sweep_workers": 8}
+        expected, _ = resolve_sweep_workers(8)
+        assert kwargs == {"parallel": True, "sweep_workers": expected}
+
+    def test_sweep_workers_auto_resolves_to_an_int(self):
+        kwargs = runner_kwargs("fig10", self.args(parallel=True, sweep_workers="auto"))
+        assert kwargs["parallel"] is True
+        assert isinstance(kwargs["sweep_workers"], int)
+        assert kwargs["sweep_workers"] >= 1
 
     def test_fig02_receives_chain_engine(self):
         kwargs = runner_kwargs("fig02", self.args(chain_engine="fastpath"))
