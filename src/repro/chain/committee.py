@@ -13,7 +13,12 @@ import numpy as np
 
 from repro.chain.blocks import ShardBlock
 from repro.chain.node import Node
-from repro.chain.fastpath import _pbft_kernel_batch, run_pbft, view_change_timeout
+from repro.chain.fastpath import (
+    _pbft_kernel_batch,
+    kernel_chunk_rows,
+    run_pbft,
+    view_change_timeout,
+)
 from repro.chain.params import ChainParams
 from repro.chain.network import Network
 from repro.chain.pbft import PbftRound
@@ -104,29 +109,33 @@ class Committee:
         return self.shard_block
 
 
-def run_intra_consensus_batch(
+def _stage3_commit_times(
     committees: Sequence[Committee],
     params: ChainParams,
     rng: np.random.Generator,
     verify_mean_s: Optional[float] = None,
     telemetry: NullTelemetry = NULL_TELEMETRY,
-) -> List[ShardBlock]:
-    """Stage 3 for the ``fastpath`` engine: one batched kernel call.
+) -> List[Committee]:
+    """The shared stage-3 core: chunked batch kernel + DES fallbacks.
 
     Every closed-form-eligible committee (quorum reachable, honest view-0
-    primary, loss-free network) goes through a single ``(K, c, c)``
-    order-statistics kernel call instead of ``K`` per-committee calls;
-    the rest replay under the reference DES afterwards, as do eligible
-    committees whose closed-form commit time reaches the view-change
-    timeout.  Committee-vs-committee draw order differs from the serial
-    per-round loop (batch block first, fallbacks second), which is fine
-    because all rounds draw independently; with a lossy network nothing
-    is batch-drawn, every replay drains its full event queue, and the
-    epoch stays byte-identical to the pure DES.
+    primary, loss-free network) goes through one chunked order-statistics
+    kernel call (committee chunks sized by ``params.max_batch_bytes``;
+    byte-identical at any chunk size) instead of ``K`` per-committee
+    calls; the rest replay under the reference DES afterwards, as do
+    eligible committees whose closed-form commit time reaches the
+    view-change timeout.  Committee-vs-committee draw order differs from
+    the serial per-round loop (batch key first, fallbacks second), which
+    is fine because all rounds draw independently; with a lossy network
+    nothing is batch-drawn -- not even the Philox key -- every replay
+    drains its full event queue, and the epoch stays byte-identical to
+    the pure DES.
 
-    Returns the submitted shard blocks in committee order and stamps
-    ``consensus_latency`` / ``shard_block`` on each committee, exactly
-    like per-committee :meth:`Committee.run_intra_consensus` calls.
+    Stamps ``consensus_latency`` on each committing committee and returns
+    the committing committees in committee order; block materialisation
+    is left to the caller (:func:`run_intra_consensus_batch` builds
+    :class:`ShardBlock` objects, :func:`run_intra_consensus_streaming`
+    folds straight into a crosslink sink).
     """
     if verify_mean_s is None:
         verify_mean_s = calibrated_verify_mean(params)
@@ -157,8 +166,24 @@ def run_intra_consensus_batch(
         speeds = np.array(
             [[node.verify_speed for node in committee.members] for committee in eligible]
         )
+        if telemetry.enabled:
+            size = eligible[0].size
+            rows = min(len(eligible), kernel_chunk_rows(size, params.max_batch_bytes))
+            telemetry.event(
+                "chain.fastpath.chunks",
+                committees=len(eligible),
+                committee_size=size,
+                chunk_rows=rows,
+                chunks=-(-len(eligible) // rows),
+                max_batch_bytes=params.max_batch_bytes,
+            )
         commit_times, prepared_primary = _pbft_kernel_batch(
-            honest, speeds, rng, params.network, verify_mean_s
+            honest,
+            speeds,
+            rng,
+            params.network,
+            verify_mean_s,
+            max_batch_bytes=params.max_batch_bytes,
         )
         for k, committee in enumerate(eligible):
             commit_time = float(commit_times[k])
@@ -166,13 +191,6 @@ def run_intra_consensus_batch(
                 fallbacks.append((committee, "view-change-timeout"))
                 continue
             committee.consensus_latency = commit_time
-            committee.shard_block = ShardBlock(
-                committee_id=committee.committee_id,
-                epoch=committee.epoch,
-                tx_count=committee.shard_tx_count,
-                formation_latency=committee.formation_latency,
-                consensus_latency=commit_time,
-            )
             if telemetry.enabled:
                 telemetry.record_span(
                     "chain.pbft.round",
@@ -216,6 +234,28 @@ def run_intra_consensus_batch(
         if not outcome.committed:
             continue
         committee.consensus_latency = outcome.latency
+
+    return [c for c in committees if c.consensus_latency is not None]
+
+
+def run_intra_consensus_batch(
+    committees: Sequence[Committee],
+    params: ChainParams,
+    rng: np.random.Generator,
+    verify_mean_s: Optional[float] = None,
+    telemetry: NullTelemetry = NULL_TELEMETRY,
+) -> List[ShardBlock]:
+    """Stage 3 for the ``fastpath`` engine: one batched kernel call.
+
+    See :func:`_stage3_commit_times` for the kernel/fallback semantics.
+    Returns the submitted shard blocks in committee order and stamps
+    ``consensus_latency`` / ``shard_block`` on each committee, exactly
+    like per-committee :meth:`Committee.run_intra_consensus` calls.
+    """
+    blocks: List[ShardBlock] = []
+    for committee in _stage3_commit_times(
+        committees, params, rng, verify_mean_s=verify_mean_s, telemetry=telemetry
+    ):
         committee.shard_block = ShardBlock(
             committee_id=committee.committee_id,
             epoch=committee.epoch,
@@ -223,8 +263,45 @@ def run_intra_consensus_batch(
             formation_latency=committee.formation_latency,
             consensus_latency=committee.consensus_latency,
         )
+        blocks.append(committee.shard_block)
+    return blocks
 
-    return [c.shard_block for c in committees if c.shard_block is not None]
+
+def run_intra_consensus_streaming(
+    committees: Sequence[Committee],
+    params: ChainParams,
+    rng: np.random.Generator,
+    sink,
+    verify_mean_s: Optional[float] = None,
+    telemetry: NullTelemetry = NULL_TELEMETRY,
+) -> int:
+    """Stage 3 that folds submissions straight into a crosslink sink.
+
+    Identical consensus semantics (and RNG consumption) to
+    :func:`run_intra_consensus_batch`, but instead of materialising one
+    :class:`ShardBlock` per committee it extends ``sink`` -- any object
+    with an ``extend(ids, tx_counts, latencies)`` method, canonically
+    :class:`repro.chain.final.CrosslinkAggregator` -- with three flat
+    arrays in committee order.  At eth2 scale this keeps stage 3 -> 4
+    hand-off allocation at three arrays instead of ~1024 Python objects
+    plus a list.  Returns the number of submitted shards.
+    """
+    committed = _stage3_commit_times(
+        committees, params, rng, verify_mean_s=verify_mean_s, telemetry=telemetry
+    )
+    if committed:
+        count = len(committed)
+        ids = np.fromiter((c.committee_id for c in committed), dtype=np.int64, count=count)
+        tx_counts = np.fromiter(
+            (c.shard_tx_count for c in committed), dtype=np.int64, count=count
+        )
+        latencies = np.fromiter(
+            (c.formation_latency + c.consensus_latency for c in committed),
+            dtype=np.float64,
+            count=count,
+        )
+        sink.extend(ids, tx_counts, latencies)
+    return len(committed)
 
 
 def calibrated_verify_mean(params: ChainParams) -> float:

@@ -22,9 +22,20 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.chain.blocks import RootChain, ShardBlock
-from repro.chain.committee import Committee, assign_shard_workload, run_intra_consensus_batch
+from repro.chain.committee import (
+    Committee,
+    assign_shard_workload,
+    run_intra_consensus_batch,
+    run_intra_consensus_streaming,
+)
 from repro.chain.fastpath import formation_kernel
-from repro.chain.final import FinalCommittee, FinalConsensusResult, SchedulerFn, take_everything
+from repro.chain.final import (
+    CrosslinkAggregator,
+    FinalCommittee,
+    FinalConsensusResult,
+    SchedulerFn,
+    take_everything,
+)
 from repro.chain.node import Node, spawn_nodes
 from repro.chain.overlay import run_overlay_configuration
 from repro.chain.params import ChainParams
@@ -51,6 +62,25 @@ class EpochOutcome:
     def two_phase_latencies(self) -> List[float]:
         """Each submitted shard's formation + consensus latency."""
         return [block.two_phase_latency for block in self.shard_blocks]
+
+
+@dataclass
+class StreamingEpochOutcome:
+    """What :meth:`ElasticoSimulation.run_epoch_streaming` produced.
+
+    The streaming path never materialises :class:`ShardBlock` objects, so
+    this carries counts and the final-consensus result instead of the
+    per-shard object list; latency dicts stay available for parity tests
+    and Fig. 2-style measurement.
+    """
+
+    epoch: int
+    num_committees: int
+    shards_submitted: int
+    final: Optional[FinalConsensusResult]
+    randomness: str
+    formation_latencies: Dict[int, float] = field(default_factory=dict)
+    consensus_latencies: Dict[int, float] = field(default_factory=dict)
 
 
 class ElasticoSimulation:
@@ -109,6 +139,7 @@ class ElasticoSimulation:
                 rng=rng,
                 solve_scales=self._solve_scales,
                 node_ids=self._node_id_array,
+                max_batch_bytes=params.max_batch_bytes,
             )
         else:
             solutions = run_pow_election(
@@ -241,6 +272,93 @@ class ElasticoSimulation:
                 epoch=outcome.epoch,
                 committees=len(committees),
                 shards_submitted=len(shard_blocks),
+                shards_permitted=(
+                    int(final_result.permitted_mask.sum()) if final_result is not None else 0
+                ),
+                committed=final_result is not None,
+            )
+        self.epoch += 1
+        return outcome
+
+    def run_epoch_streaming(
+        self,
+        shard_tx_counts: Optional[Sequence[int]] = None,
+    ) -> StreamingEpochOutcome:
+        """The five stages with memory-bounded stage 3 -> 4 hand-off.
+
+        Byte-identical to :meth:`run_epoch` on the ``fastpath`` engine
+        (same RNG consumption, same final block hash), but shard
+        submissions stream through a :class:`CrosslinkAggregator`
+        instead of a :class:`ShardBlock` list -- the eth2-scale path
+        where ~1024 per-shard Python objects per epoch are pure
+        allocator churn.  Mempool-driven workloads stay on
+        :meth:`run_epoch` (removing committed TXs needs the per-shard
+        assignment anyway).
+        """
+        if self.params.chain_engine != "fastpath":
+            raise ValueError(
+                "run_epoch_streaming requires chain_engine='fastpath' "
+                "(the DES path materialises per-round objects regardless)"
+            )
+        # Intentionally the same stream key as run_epoch: the streaming
+        # path must replay the exact byte sequence of the object path.
+        rng = self.streams.fork(f"epoch-{self.epoch}").get("epoch")  # repro: ignore[MV101]
+        committees = self.form_committees(rng)
+        if not committees:
+            raise RuntimeError(
+                "no committee filled this epoch; raise num_nodes or lower committee_size"
+            )
+        if shard_tx_counts is None:
+            # Same synthetic default (and draw) as run_epoch.
+            shard_tx_counts = rng.poisson(1400, size=len(committees))
+        assign_shard_workload(committees, shard_tx_counts)
+
+        member_committees = committees[:-1] if len(committees) > 1 else committees
+        final_seat = committees[-1]
+        aggregator = CrosslinkAggregator(capacity_hint=len(member_committees))
+        submitted = run_intra_consensus_streaming(
+            member_committees, self.params, rng, aggregator, telemetry=self.telemetry
+        )
+
+        final_committee = FinalCommittee(
+            committee=final_seat,
+            params=self.params,
+            mvcom_config=self.mvcom_config,
+            scheduler=self.scheduler,
+        )
+        final_result = (
+            final_committee.run_streaming(
+                aggregator, self.chain, self.randomness, rng, telemetry=self.telemetry
+            )
+            if submitted
+            else None
+        )
+
+        self.randomness = refresh_randomness(
+            epoch=self.epoch,
+            member_ids=[node.node_id for node in final_seat.members],
+            rng=rng,
+        )
+
+        outcome = StreamingEpochOutcome(
+            epoch=self.epoch,
+            num_committees=len(committees),
+            shards_submitted=submitted,
+            final=final_result,
+            randomness=self.randomness,
+            formation_latencies={c.committee_id: c.formation_latency for c in committees},
+            consensus_latencies={
+                c.committee_id: c.consensus_latency
+                for c in committees
+                if c.consensus_latency is not None
+            },
+        )
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "chain.epoch",
+                epoch=outcome.epoch,
+                committees=len(committees),
+                shards_submitted=submitted,
                 shards_permitted=(
                     int(final_result.permitted_mask.sum()) if final_result is not None else 0
                 ),

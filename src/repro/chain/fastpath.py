@@ -36,15 +36,42 @@ happens after the kernel's draws and is only distributionally faithful.
 
 **Batched rounds.**  All committees of an epoch share one sequential RNG
 stream, so :func:`repro.chain.committee.run_intra_consensus_batch` stacks
-every closed-form-eligible committee into a single ``(K, c, c)`` kernel
-call (:func:`_pbft_kernel_batch`) instead of ``K`` small-matrix calls --
-the per-call numpy dispatch overhead dominates at ``c = 8``.  The batch
-draws its random block first and replays the ineligible committees under
-the DES afterwards; committee-vs-committee draw *order* therefore differs
-from the one-round-at-a-time path, which is immaterial because the draws
-are independent (the per-size KS tests cover both entry points).  With a
-lossy network nothing is drawn by the kernel at all, so a fully-fallback
-epoch stays byte-identical to the pure DES epoch.
+every closed-form-eligible committee into a single kernel call
+(:func:`_pbft_kernel_batch`) instead of ``K`` small-matrix calls -- the
+per-call numpy dispatch overhead dominates at ``c = 8``.  The batch draws
+one 128-bit Philox key from the shared stream (a fixed two-``uint64``
+consumption, whatever the batch shape) and replays the ineligible
+committees under the DES afterwards; committee-vs-committee draw *order*
+therefore differs from the one-round-at-a-time path, which is immaterial
+because the draws are independent (the per-size KS tests cover both entry
+points).  With a lossy network nothing is drawn by the kernel at all --
+not even the key -- so a fully-fallback epoch stays byte-identical to the
+pure DES epoch.
+
+**Chunked streaming.**  At eth2 scale (``K = 1024`` committees of
+``c = 128``) a monolithic batch would materialise several ``(K, c, c)``
+tensors of ~135 MB each.  Instead the kernel is *counter-addressed*:
+committee ``k`` owns the absolute Philox counter block
+``[k * S / 4, (k + 1) * S / 4)`` where ``S`` is the per-committee uniform
+budget (:func:`_kernel_draw_budget`, padded to whole 4-word counter
+blocks), and the batch is processed in committee-index chunks sized by a
+``max_batch_bytes`` scratch budget (:class:`repro.chain.params.ChainParams`,
+default 256 MiB).  Because every committee's bytes live at a fixed
+counter offset, the chunked result is *byte-identical* at any chunk size
+-- including 1 and "everything at once" -- and the calling stream's
+position never depends on the chunking.  Exponential and lognormal
+variates come from the uniform lattice through exact inverse-CDF /
+Box-Muller transforms, so the KS parity claims vs the DES are unchanged.
+Per-chunk scratch (the uniform lattice, the normal block, and two
+``(rows, c, c)`` vote matrices) is allocated once and reused across
+chunks via ``out=`` ufuncs.
+
+**Crosslink-scale note.**  The commit quorum only ever gates on votes
+*to the primary* (the round commits at the primary's ``(2f+1)``-th
+commit vote), so the kernel draws the commit-lag matrix's primary column
+only -- ``c`` lognormals per committee instead of ``c^2`` --
+distributionally identical to the historical full-matrix draw and one of
+the two ``(K, c, c)`` tensors gone outright.
 
 **Formation kernel.**  Stages 1-2 (PoW election + overlay configuration)
 contain no event interleaving at all, so their vectorization is
@@ -56,6 +83,7 @@ queue, and one gossip block draw in committee-index order.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -65,11 +93,17 @@ from repro.chain.params import NetworkParams
 from repro.chain.pbft import PbftOutcome, run_pbft_round
 from repro.chain.pow import _committee_of
 from repro.obs.telemetry import NULL_TELEMETRY, NullTelemetry
+from repro.sim.rng import counter_rng, philox_key
 
 #: NIC rank geometry per (committee size, 1/bandwidth) -- identical for
 #: every round at a given configuration, so computing it per call would
-#: be pure numpy dispatch overhead.  A handful of keys ever exist.
-_NIC_GEOMETRY: Dict[Tuple[int, float], Tuple[np.ndarray, np.ndarray, float]] = {}
+#: be pure numpy dispatch overhead.  LRU-bounded: a long-running
+#: multi-configuration sweep (network-size x committee-size x bandwidth)
+#: must not grow the cache without limit.
+_NIC_GEOMETRY: "OrderedDict[Tuple[int, float], Tuple[np.ndarray, np.ndarray, float]]" = (
+    OrderedDict()
+)
+_NIC_GEOMETRY_MAX_ENTRIES = 16
 
 
 def _nic_geometry(c: int, inv_bw: float) -> Tuple[np.ndarray, np.ndarray, float]:
@@ -91,7 +125,53 @@ def _nic_geometry(c: int, inv_bw: float) -> Tuple[np.ndarray, np.ndarray, float]
         nic_free0[0] = burst_s
         cached = (rank * inv_bw, nic_free0, burst_s)
         _NIC_GEOMETRY[key] = cached
+        if len(_NIC_GEOMETRY) > _NIC_GEOMETRY_MAX_ENTRIES:
+            _NIC_GEOMETRY.popitem(last=False)
+    else:
+        _NIC_GEOMETRY.move_to_end(key)
     return cached
+
+
+def _kernel_draw_budget(c: int) -> Tuple[int, int, int]:
+    """``(uniforms, exponentials, normals)`` one committee consumes.
+
+    Per ``c``-member committee the kernel needs ``2c`` exponentials
+    (prepare + commit verify delays), and ``c + c^2 + c`` standard normals
+    (pre-prepare lag, the full prepare-lag matrix, and the commit-lag
+    primary column).  Normals come from Box-Muller pairs, so their uniform
+    count is rounded up to even; the total is padded to a multiple of four
+    so every committee starts on a whole Philox counter block.
+    """
+    n_exp = 2 * c
+    n_norm = c * c + 2 * c
+    n_norm_u = n_norm + (n_norm & 1)
+    total = n_exp + n_norm_u
+    total += (-total) % 4
+    return total, n_exp, n_norm
+
+
+def kernel_bytes_per_committee(c: int) -> int:
+    """Approximate live scratch bytes one committee adds to a chunk.
+
+    Counts the uniform lattice, the normal block plus its Box-Muller
+    temporaries, the two ``(c, c)`` vote/partition matrices, the boolean
+    threshold mask, and a dozen ``(c,)`` working vectors.  Used by
+    :func:`kernel_chunk_rows` to size chunks under ``max_batch_bytes``.
+    """
+    total_u, _, n_norm = _kernel_draw_budget(c)
+    n_norm_u = n_norm + (n_norm & 1)
+    return 8 * (total_u + 2 * n_norm_u + 2 * c * c + 12 * c) + c * c
+
+
+def kernel_chunk_rows(c: int, max_batch_bytes: Optional[int]) -> int:
+    """Committees per chunk under a ``max_batch_bytes`` scratch budget.
+
+    Always at least 1: a single committee is the smallest unit the kernel
+    can process, even when it alone exceeds the budget.
+    """
+    if max_batch_bytes is None:
+        return 2**31
+    return max(1, int(max_batch_bytes) // kernel_bytes_per_committee(c))
 
 
 def _pbft_kernel_batch(
@@ -100,14 +180,20 @@ def _pbft_kernel_batch(
     rng: np.random.Generator,
     network_params: NetworkParams,
     verify_mean_s: float,
+    max_batch_bytes: Optional[int] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """The order-statistics kernel over a ``(K, c)`` committee stack.
 
     Returns ``(commit_time, prepared_primary)`` -- each shape ``(K,)`` --
     for ``K`` independent loss-free honest-primary rounds.  The caller is
     responsible for the pre-draw validity checks and for the post-draw
-    view-change-timeout fallback.  With ``K = 1`` the draws consume the
-    stream exactly like the historical one-round kernel.
+    view-change-timeout fallback.
+
+    The only consumption from ``rng`` is one Philox key (two ``uint64``
+    words); committee ``k``'s variates live at absolute counter offset
+    ``k * S / 4`` of the keyed stream, so splitting the stack into chunks
+    of any size -- bounded by ``max_batch_bytes`` of live scratch --
+    reproduces identical bytes (see the module docstring).
     """
     num_rounds, c = honest.shape
     f = (c - 1) // 3
@@ -115,54 +201,112 @@ def _pbft_kernel_batch(
     mu = float(np.log(network_params.base_delay))
     sigma = network_params.jitter_sigma
     idx = np.arange(c)
+    nic_col0 = nic[:, 0]
 
-    # Random inputs (block-drawn; the DES draws per event, so the fast
-    # path is distributionally -- not byte -- equivalent here).
-    verify1 = rng.exponential(verify_mean_s / speeds)
-    verify2 = rng.exponential(verify_mean_s / speeds)
-    lag_pre = rng.lognormal(mu, sigma, size=(num_rounds, c))
-    lag1 = rng.lognormal(mu, sigma, size=(num_rounds, c, c))
-    lag2 = rng.lognormal(mu, sigma, size=(num_rounds, c, c))
+    key = philox_key(rng)
+    total_u, n_exp, n_norm = _kernel_draw_budget(c)
+    n_norm_u = n_norm + (n_norm & 1)
+    rows = min(num_rounds, kernel_chunk_rows(c, max_batch_bytes))
 
-    # Pre-prepare arrivals (the primary pre-prepares itself at t=0).
-    arrival = nic[0][None, :] + lag_pre
-    arrival[:, 0] = 0.0
+    # Chunk-reused scratch: the uniform lattice, the normal block, and the
+    # two (rows, c, c) matrices -- the only O(c^2)-per-committee arrays.
+    uniforms = np.empty((rows, total_u))
+    normals = np.empty((rows, n_norm_u))
+    votes = np.empty((rows, c, c))
+    scratch = np.empty((rows, c, c))
 
-    # Prepare votes: sent after one verify delay; the primary's NIC is
-    # still draining the pre-prepare burst.
-    prep_send = arrival + verify1
-    depart1 = np.maximum(prep_send, nic_free0[None, :])
-    votes1 = depart1[:, :, None] + nic[None, :, :] + lag1
-    votes1[:, idx, idx] = prep_send
-    votes1[~honest] = np.inf
-    # Prepared at the first vote event >= max(pre-prepare arrival, 2f-th
-    # smallest vote) -- votes can land before the pre-prepare and only
-    # count once the replica is pre-prepared.
-    two_f = np.sort(votes1, axis=1)[:, 2 * f - 1, :]
-    threshold = np.maximum(arrival, two_f)
-    prepared = np.min(np.where(votes1 >= threshold[:, None, :], votes1, np.inf), axis=1)
+    commit_out = np.empty(num_rounds)
+    prepared_out = np.empty(num_rounds)
+    for start in range(0, num_rounds, rows):
+        b = min(rows, num_rounds - start)
+        counter_rng(key, start * (total_u // 4)).random(out=uniforms[:b].reshape(-1))
+        u = uniforms[:b]
+        z = normals[:b]
 
-    # Commit votes: one more verify delay.  A replica can become prepared
-    # from *others'* votes while its own prepare verify is still running,
-    # so its commit burst may hit the NIC before its prepare burst --
-    # burst order on the NIC is the event order of the send calls.  (The
-    # late prepare burst then departs up to (c-1)/bandwidth later, which
-    # we do not feed back into the prepare quorums above: the window is
-    # measure-(c-1)/bandwidth and sub-millisecond at default bandwidth,
-    # far below KS resolution; the DES stays the reference for it.)
-    commit_send = prepared + verify2
-    commit_first = commit_send < prep_send
-    depart2 = np.where(
-        commit_first,
-        np.maximum(commit_send, nic_free0[None, :]),
-        np.maximum(commit_send, depart1 + burst_s),
-    )
-    votes2 = depart2[:, :, None] + nic[None, :, :] + lag2
-    votes2[:, idx, idx] = commit_send
-    votes2[~honest] = np.inf
-    # Commit quorum has no pre-prepare gate in the spec: (2f+1)-th vote.
-    committed = np.sort(votes2, axis=1)[:, 2 * f, :]
-    return committed[:, 0], prepared[:, 0]
+        # Box-Muller over the normal lattice (exact standard normals, so
+        # the lognormal lags keep their DES distribution).
+        u1 = u[:, n_exp : n_exp + n_norm_u : 2]
+        u2 = u[:, n_exp + 1 : n_exp + n_norm_u : 2]
+        radius = np.log1p(np.negative(u1))
+        radius *= -2.0
+        np.sqrt(radius, out=radius)
+        theta = u2 * (2.0 * np.pi)
+        z0 = z[:, 0::2]
+        z1 = z[:, 1::2]
+        np.cos(theta, out=z0)
+        z0 *= radius
+        np.sin(theta, out=z1)
+        z1 *= radius
+
+        # Verify delays: one inverse-CDF pass over both exponential lanes.
+        expo = np.log1p(np.negative(u[:, :n_exp]))
+        neg_scale = (-verify_mean_s) / speeds[start : start + b]
+        verify1 = expo[:, :c]
+        verify1 *= neg_scale
+        verify2 = expo[:, c : 2 * c]
+        verify2 *= neg_scale
+
+        # Lognormal lags: one exp(mu + sigma * z) pass over the whole
+        # normal block; lag_pre / lag1 / lag2-primary-column are views.
+        z *= sigma
+        z += mu
+        np.exp(z, out=z)
+        lag_pre = z[:, :c]
+        lag2_col = z[:, c + c * c : c + c * c + c]
+
+        honest_b = honest[start : start + b]
+
+        # Pre-prepare arrivals (the primary pre-prepares itself at t=0).
+        arrival = lag_pre
+        arrival += nic[0][None, :]
+        arrival[:, 0] = 0.0
+
+        # Prepare votes: sent after one verify delay; the primary's NIC is
+        # still draining the pre-prepare burst.
+        prep_send = arrival + verify1
+        depart1 = np.maximum(prep_send, nic_free0[None, :])
+        votes_b = votes[:b]
+        np.add(z[:, c : c + c * c].reshape(b, c, c), nic[None, :, :], out=votes_b)
+        votes_b += depart1[:, :, None]
+        votes_b[:, idx, idx] = prep_send
+        votes_b[~honest_b] = np.inf
+        # Prepared at the first vote event >= max(pre-prepare arrival,
+        # 2f-th smallest vote) -- votes can land before the pre-prepare
+        # and only count once the replica is pre-prepared.
+        scratch_b = scratch[:b]
+        np.copyto(scratch_b, votes_b)
+        scratch_b.partition(2 * f - 1, axis=1)
+        threshold = np.maximum(arrival, scratch_b[:, 2 * f - 1, :])
+        np.copyto(scratch_b, votes_b)
+        scratch_b[votes_b < threshold[:, None, :]] = np.inf
+        prepared = scratch_b.min(axis=1)
+
+        # Commit votes: one more verify delay.  A replica can become
+        # prepared from *others'* votes while its own prepare verify is
+        # still running, so its commit burst may hit the NIC before its
+        # prepare burst -- burst order on the NIC is the event order of
+        # the send calls.  (The late prepare burst then departs up to
+        # (c-1)/bandwidth later, which we do not feed back into the
+        # prepare quorums above: the window is measure-(c-1)/bandwidth
+        # and sub-millisecond at default bandwidth, far below KS
+        # resolution; the DES stays the reference for it.)  Only the
+        # votes *to the primary* matter: the round commits at the
+        # primary's (2f+1)-th commit vote, with no pre-prepare gate.
+        commit_send = prepared + verify2
+        commit_first = commit_send < prep_send
+        depart2 = np.where(
+            commit_first,
+            np.maximum(commit_send, nic_free0[None, :]),
+            np.maximum(commit_send, depart1 + burst_s),
+        )
+        votes2_primary = depart2 + nic_col0[None, :]
+        votes2_primary += lag2_col
+        votes2_primary[:, 0] = commit_send[:, 0]
+        votes2_primary[~honest_b] = np.inf
+        votes2_primary.partition(2 * f, axis=1)
+        commit_out[start : start + b] = votes2_primary[:, 2 * f]
+        prepared_out[start : start + b] = prepared[:, 0]
+    return commit_out, prepared_out
 
 
 def view_change_timeout(network_params: NetworkParams, verify_mean_s: float) -> float:
@@ -208,8 +352,9 @@ def _closed_form_pbft(
 
     if not np.isfinite(commit_time) or commit_time >= view_change_timeout_s:
         # The DES would fire the view-change timer before this commit;
-        # the cascade after that is not closed-form.  (Kernel draws are
-        # already consumed, so this fallback is distributional only.)
+        # the cascade after that is not closed-form.  (The kernel's key
+        # draw is already consumed, so this fallback is distributional
+        # only.)
         return None, "view-change-timeout"
 
     outcome = PbftOutcome(
@@ -299,6 +444,19 @@ def run_pbft(
     )
 
 
+#: Per-node live-scratch estimate for :func:`formation_kernel` chunking:
+#: the solve-time, id, assignment, sort-order and registration arrays plus
+#: per-chunk draw temporaries, ~12 float64-sized slots per node.
+FORMATION_BYTES_PER_NODE = 96
+
+
+def formation_chunk_rows(max_batch_bytes: Optional[int]) -> int:
+    """Nodes per formation-kernel chunk under ``max_batch_bytes``."""
+    if max_batch_bytes is None:
+        return 2**31
+    return max(1, int(max_batch_bytes) // FORMATION_BYTES_PER_NODE)
+
+
 def formation_kernel(
     nodes: Sequence[Node],
     num_committees: int,
@@ -310,6 +468,7 @@ def formation_kernel(
     gossip_delay_mean: float = 4.0,
     solve_scales: Optional[np.ndarray] = None,
     node_ids: Optional[np.ndarray] = None,
+    max_batch_bytes: Optional[int] = None,
 ) -> Tuple[Dict[int, float], Dict[int, List[int]], Dict[int, float]]:
     """Vectorized stages 1-2, byte-identical to the reference path.
 
@@ -318,7 +477,11 @@ def formation_kernel(
     :func:`repro.chain.pow.committee_members` and
     :func:`repro.chain.overlay.run_overlay_configuration` exactly: the
     solve-time block draw and the gossip block draw consume the RNG
-    stream in the same order as the scalar reference loops.
+    stream in the same order as the scalar reference loops.  Both block
+    draws stream through node-index chunks sized by ``max_batch_bytes``
+    (numpy's elementwise exponential consumes the stream sequentially,
+    so chunked draws into a preallocated output are byte-identical to
+    one monolithic draw at any chunk size).
 
     ``solve_scales`` / ``node_ids`` are optional precomputed per-node
     arrays (``mean_solve_s / hash_power`` and ids, in ``nodes`` order) --
@@ -337,12 +500,19 @@ def formation_kernel(
         if solve_scales is None
         else solve_scales
     )
-    times = rng.exponential(scales)
     if node_ids is None:
         node_ids = np.array([node.node_id for node in nodes])
-    assigned = np.array(
-        [_committee_of(int(nid), epoch_randomness, num_committees) for nid in node_ids]
-    )
+    n = scales.shape[0]
+    step = max(1, min(n, formation_chunk_rows(max_batch_bytes)))
+    times = np.empty(n)
+    assigned = np.empty(n, dtype=np.int64)
+    for lo in range(0, n, step):
+        hi = min(lo + step, n)
+        times[lo:hi] = rng.exponential(scales[lo:hi])
+        assigned[lo:hi] = [
+            _committee_of(int(nid), epoch_randomness, num_committees)
+            for nid in node_ids[lo:hi]
+        ]
 
     # Directory arrival order (stable, like the reference's list sort).
     order = np.argsort(times, kind="stable")
@@ -376,7 +546,10 @@ def formation_kernel(
 
     # One gossip delay per filled committee, in committee-index order --
     # grouped indices are already ascending, matching the reference dict.
-    gossip = rng.exponential(gossip_delay_mean, size=len(members))
+    gossip = np.empty(len(members))
+    for lo in range(0, len(members), step):
+        hi = min(lo + step, len(members))
+        gossip[lo:hi] = rng.exponential(gossip_delay_mean, size=hi - lo)
     overlay = {
         committee_index: last + float(g)
         for (committee_index, last), g in zip(zip(members.keys(), last_ready), gossip)

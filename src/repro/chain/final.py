@@ -15,7 +15,8 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.chain.blocks import FinalBlock, RootChain, ShardBlock
+from repro.analysis.contracts import sane_instance
+from repro.chain.blocks import FinalBlock, RootChain, ShardBlock, _hash_payload
 from repro.chain.committee import Committee, calibrated_verify_mean
 from repro.chain.fastpath import run_pbft
 from repro.chain.params import ChainParams
@@ -41,6 +42,114 @@ def take_everything(instance: EpochInstance) -> np.ndarray:
             mask[position] = True
             weight += tx
     return mask
+
+
+class CrosslinkAggregator:
+    """Memory-bounded fold of submitted shards into the MVCom instance.
+
+    The object path hands stage 4 a Python list of :class:`ShardBlock`
+    objects -- ~1024 dataclasses plus their list at eth2 scale, rebuilt
+    into arrays by ``build_instance`` anyway.  This aggregator keeps the
+    three features the scheduler actually needs (committee id, ``s_i``,
+    two-phase ``l_i``) in running numpy arrays with amortised-doubling
+    growth, accepting per-shard :meth:`add` calls or whole-batch
+    :meth:`extend` calls from
+    :func:`repro.chain.committee.run_intra_consensus_streaming`, and
+    feeds :meth:`FinalCommittee.run_streaming` directly.  The resulting
+    epoch is byte-identical to the object path.
+    """
+
+    def __init__(self, capacity_hint: int = 256) -> None:
+        hint = max(int(capacity_hint), 1)
+        self._ids = np.empty(hint, dtype=np.int64)
+        self._tx_counts = np.empty(hint, dtype=np.int64)
+        self._latencies = np.empty(hint, dtype=np.float64)
+        self._count = 0
+
+    def _reserve(self, extra: int) -> None:
+        needed = self._count + extra
+        if needed <= self._ids.shape[0]:
+            return
+        new_size = max(needed, 2 * self._ids.shape[0])
+        for name in ("_ids", "_tx_counts", "_latencies"):
+            grown = np.empty(new_size, dtype=getattr(self, name).dtype)
+            grown[: self._count] = getattr(self, name)[: self._count]
+            setattr(self, name, grown)
+
+    def add(self, committee_id: int, tx_count: int, latency: float) -> None:
+        """Fold in one submitted shard (arrival order = submission order)."""
+        self._reserve(1)
+        self._ids[self._count] = committee_id
+        self._tx_counts[self._count] = tx_count
+        self._latencies[self._count] = latency
+        self._count += 1
+
+    def extend(
+        self,
+        ids: np.ndarray,
+        tx_counts: np.ndarray,
+        latencies: np.ndarray,
+    ) -> None:
+        """Fold in a batch of submitted shards (the streaming-sink protocol)."""
+        extra = len(ids)
+        if not (len(tx_counts) == extra and len(latencies) == extra):
+            raise ValueError("ids, tx_counts and latencies must have equal length")
+        self._reserve(extra)
+        stop = self._count + extra
+        self._ids[self._count : stop] = ids
+        self._tx_counts[self._count : stop] = tx_counts
+        self._latencies[self._count : stop] = latencies
+        self._count = stop
+
+    @property
+    def count(self) -> int:
+        """Number of shards folded in so far."""
+        return self._count
+
+    @property
+    def ids(self) -> np.ndarray:
+        """Committee ids in submission order (view, do not mutate)."""
+        return self._ids[: self._count]
+
+    @property
+    def tx_counts(self) -> np.ndarray:
+        """Per-shard ``s_i`` in submission order (view, do not mutate)."""
+        return self._tx_counts[: self._count]
+
+    @property
+    def latencies(self) -> np.ndarray:
+        """Per-shard two-phase ``l_i`` in submission order (view)."""
+        return self._latencies[: self._count]
+
+    def arrival_positions(self, n_max_fraction: float) -> np.ndarray:
+        """Positions kept by the N_max cutoff, fastest-first (stable).
+
+        Mirrors :meth:`FinalCommittee.arrival_window` exactly: a stable
+        latency sort of the submission-ordered arrays equals Python's
+        stable ``sorted`` over the block list.
+        """
+        count = max(1, int(np.floor(n_max_fraction * self._count)))
+        return np.argsort(self.latencies, kind="stable")[:count]
+
+
+@sane_instance
+def _instance_from_arrays(
+    tx_counts: np.ndarray,
+    latencies: np.ndarray,
+    shard_ids: np.ndarray,
+    config: MVComConfig,
+) -> EpochInstance:
+    """Array-native :func:`repro.core.problem.build_instance` equivalent.
+
+    Same ``REPRO_CONTRACTS`` validation, no per-shard object hop: the
+    aggregator's arrays become the instance's arrays directly.
+    """
+    return EpochInstance(
+        tx_counts=tx_counts,
+        latencies=latencies,
+        config=config,
+        shard_ids=shard_ids,
+    )
 
 
 @dataclass
@@ -89,6 +198,68 @@ class FinalCommittee:
             return None
         arrived = self.arrival_window(shard_blocks)
         instance = build_instance(arrived, self.mvcom_config)
+
+        def hashes_for_mask(mask: np.ndarray):
+            permitted = [arrived[i] for i in np.flatnonzero(mask)]
+            hashes = tuple(sorted(shard.block_hash for shard in permitted))
+            return hashes, int(sum(shard.tx_count for shard in permitted))
+
+        return self._finalize(
+            instance, len(arrived), hashes_for_mask, chain, randomness, rng, telemetry
+        )
+
+    def run_streaming(
+        self,
+        aggregator: CrosslinkAggregator,
+        chain: RootChain,
+        randomness: str,
+        rng: np.random.Generator,
+        telemetry: NullTelemetry = NULL_TELEMETRY,
+    ) -> Optional[FinalConsensusResult]:
+        """Stage 4 fed by a :class:`CrosslinkAggregator`, no block objects.
+
+        Byte-identical to :meth:`run` over the same submissions: the
+        stable latency argsort reproduces :meth:`arrival_window`, the
+        instance is built from the aggregator's arrays directly, and the
+        permitted shard hashes are recomputed from ``(id, epoch,
+        tx_count)`` -- the same preimage a :class:`ShardBlock` hashes --
+        for the permitted positions only.
+        """
+        if aggregator.count == 0:
+            return None
+        keep = aggregator.arrival_positions(self.mvcom_config.n_max_fraction)
+        tx_counts = aggregator.tx_counts[keep]
+        shard_ids = aggregator.ids[keep]
+        instance = _instance_from_arrays(
+            tx_counts, aggregator.latencies[keep], shard_ids, self.mvcom_config
+        )
+        epoch = self.committee.epoch
+
+        def hashes_for_mask(mask: np.ndarray):
+            picked = np.flatnonzero(mask)
+            hashes = tuple(
+                sorted(
+                    _hash_payload("shard", int(shard_ids[i]), epoch, int(tx_counts[i]))
+                    for i in picked
+                )
+            )
+            return hashes, int(tx_counts[picked].sum())
+
+        return self._finalize(
+            instance, len(keep), hashes_for_mask, chain, randomness, rng, telemetry
+        )
+
+    def _finalize(
+        self,
+        instance: EpochInstance,
+        arrived_count: int,
+        hashes_for_mask,
+        chain: RootChain,
+        randomness: str,
+        rng: np.random.Generator,
+        telemetry: NullTelemetry,
+    ) -> Optional[FinalConsensusResult]:
+        """Schedule, run the final PBFT round, and append the final block."""
         mask = np.asarray(self.scheduler(instance), dtype=bool)
         if mask.shape != (instance.num_shards,):
             raise ValueError("scheduler returned a mask of the wrong length")
@@ -109,16 +280,16 @@ class FinalCommittee:
                 telemetry.event(
                     "chain.final.stalled",
                     epoch=self.committee.epoch,
-                    arrived=len(arrived),
+                    arrived=arrived_count,
                 )
             return None
 
-        permitted = [arrived[i] for i in np.flatnonzero(mask)]
+        hashes, total_txs = hashes_for_mask(mask)
         block = FinalBlock(
             epoch=chain.height,
             parent_hash=chain.head_hash,
-            permitted_shards=tuple(sorted(shard.block_hash for shard in permitted)),
-            total_txs=int(sum(shard.tx_count for shard in permitted)),
+            permitted_shards=hashes,
+            total_txs=total_txs,
             ddl=instance.ddl,
             randomness=randomness,
         )
@@ -127,7 +298,7 @@ class FinalCommittee:
             # The mempool-age view of the commit: every permitted shard's
             # TXs waited ddl - latency seconds (Fig. 3's cumulative age).
             telemetry.record_span("chain.final.arrival_window", 0.0, instance.ddl,
-                                  epoch=self.committee.epoch, arrived=len(arrived))
+                                  epoch=self.committee.epoch, arrived=arrived_count)
             # Tagged per epoch so the metrics aggregator keys an age-percentile
             # series per final-consensus round (SLO: p99 age vs the paper's
             # cumulative-age objective) alongside the cross-epoch aggregate.
@@ -139,7 +310,7 @@ class FinalCommittee:
                 "chain.final.commit",
                 epoch=self.committee.epoch,
                 permitted=int(mask.sum()),
-                arrived=len(arrived),
+                arrived=arrived_count,
                 txs=block.total_txs,
                 ddl=instance.ddl,
                 pbft_latency=outcome.latency,

@@ -70,6 +70,14 @@ class ChainParams:
         order statistics), falling back to the DES per committee whenever
         the closed form is invalid (Byzantine primary, lossy network,
         view-change possible).
+    max_batch_bytes:
+        Scratch-byte budget for the chunked fastpath kernels (PBFT batch
+        and formation).  Each batched kernel call splits its committee or
+        node stack into chunks whose live scratch stays under this budget;
+        the chunked result is byte-identical to the unchunked one at any
+        budget (see :mod:`repro.chain.fastpath`).  The 256 MiB default
+        keeps a full eth2-scale epoch (1024 shards x 128 members) in
+        bounded memory.
     """
 
     num_nodes: int = 400
@@ -81,6 +89,7 @@ class ChainParams:
     network: NetworkParams = NetworkParams()
     seed: int = 0
     chain_engine: str = "des"
+    max_batch_bytes: int = 268_435_456  # 256 MiB
 
     def __post_init__(self) -> None:
         if self.chain_engine not in CHAIN_ENGINE_NAMES:
@@ -98,6 +107,8 @@ class ChainParams:
             raise ValueError("latency expectations must be positive")
         if self.identity_registration_rate <= 0:
             raise ValueError("identity_registration_rate must be positive")
+        if self.max_batch_bytes <= 0:
+            raise ValueError("max_batch_bytes must be positive")
 
     @property
     def num_committees(self) -> int:

@@ -19,6 +19,8 @@ Usage::
     mvcom trace diff a.jsonl b.jsonl --fail-above 5  # regression gate
     mvcom storm --seed 13       # churn-storm fault injection (repro.faultinject)
     mvcom storm --replay r.json # replay a shrunk storm reproducer
+    mvcom eth2scale             # nodes -> {epoch wall, peak RSS, SE wall} curve
+    mvcom eth2scale --network-sizes 8192,32768 --committee-size 128
 """
 
 from __future__ import annotations
@@ -269,10 +271,12 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="mvcom", description="MVCom reproduction experiments")
     parser.add_argument(
         "experiment",
-        choices=sorted(RUNNERS) + ["all", "list", "lint", "solve", "storm", "trace"],
+        choices=sorted(RUNNERS)
+        + ["all", "eth2scale", "list", "lint", "solve", "storm", "trace"],
         help="figure to run, 'lint' for static analysis, 'solve' for a traced "
-        "SE run, 'storm' for churn-storm fault injection, or 'trace summary "
-        "PATH' to inspect a trace file",
+        "SE run, 'storm' for churn-storm fault injection, 'eth2scale' for "
+        "the chunked-kernel scaling bench, or 'trace summary PATH' to "
+        "inspect a trace file",
     )
     parser.add_argument(
         "paths",
@@ -334,6 +338,15 @@ def main(argv=None) -> int:
                         help="storm: shrunk-reproducer JSON path; trace "
                         "metrics/export: output file for the aggregate "
                         "snapshot / exported trace")
+    parser.add_argument("--network-sizes", metavar="N,N,...", default=None,
+                        help="eth2scale: comma-separated ascending node "
+                        "counts (default 8192,32768,131072 from the preset)")
+    parser.add_argument("--committee-size", type=int, default=None,
+                        help="eth2scale: members per committee (default 128, "
+                        "the beacon-chain MAX_PERIOD_COMMITTEE_SIZE)")
+    parser.add_argument("--max-batch-bytes", type=int, default=None,
+                        help="eth2scale: chunked-kernel scratch budget in "
+                        "bytes (default 256 MiB)")
     parser.add_argument("--resources", action="store_true",
                         help="solve: emit the harness-only obs.resources "
                         "gauge (peak RSS + CPU times) at span close")
@@ -380,6 +393,13 @@ def main(argv=None) -> int:
         from repro.harness.storms import run_storm_cli
 
         return run_storm_cli(args)
+
+    if args.experiment == "eth2scale":
+        if args.paths:
+            parser.error(f"unexpected positional arguments for 'eth2scale': {args.paths}")
+        from repro.harness.eth2scale import run_eth2scale_cli
+
+        return run_eth2scale_cli(args)
 
     if args.paths:
         parser.error(f"unexpected positional arguments for {args.experiment!r}: {args.paths}")

@@ -126,6 +126,22 @@ PRESETS: Dict[str, FigurePreset] = {
         convergence_window=5_000,
         extras={"alphas": (1.5, 5.0, 10.0), "num_initial": 17, "join_start": 200, "join_spacing": 150},
     ),
+    "eth2scale": FigurePreset(
+        figure="eth2scale",
+        description="Eth2-scale epochs: chunked kernels + streaming crosslinks, nodes vs wall/RSS",
+        num_committees=1024,  # SHARD_COUNT = 2**10
+        capacity=1_024_000,
+        gamma=10,
+        se_iterations=1_500,
+        convergence_window=1_500,
+        extras={
+            # 2**10 shards x MAX_PERIOD_COMMITTEE_SIZE = 2**7 members at the top
+            "network_sizes": (8_192, 32_768, 131_072),
+            "committee_size": 128,
+            "capacity_per_committee": 1000,
+            "max_batch_bytes": 268_435_456,
+        },
+    ),
     "theory_mixing": FigurePreset(
         figure="theory_mixing",
         description="Theorem 1 mixing-time bounds vs empirical mixing",

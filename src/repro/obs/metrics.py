@@ -1,12 +1,16 @@
 """Streaming metric aggregation over the telemetry record stream.
 
 :mod:`repro.obs.telemetry` gives the pipeline a raw event stream;
-``mvcom serve``-style steady-state operation (ROADMAP item 3), Eth2-scale
-epochs (item 2) and bandit parameter control (item 5) all need the
-*aggregated* view — solves/s, p50/p99 decision latency, per-committee round
-latency — computed incrementally, because the raw trace is either unbounded
-(a long-running service) or too large to hold (10^6+ records per epoch at
-1024 shards).  This module provides that layer:
+``mvcom serve``-style steady-state operation (ROADMAP item 3), bandit
+parameter control (item 5) and the eth2-scale path (the ``eth2scale``
+preset drives ``2**10``-shard epochs through
+:meth:`repro.chain.elastico.ElasticoSimulation.run_epoch_streaming`) all
+need the *aggregated* view — solves/s, p50/p99 decision latency,
+per-committee round latency — computed incrementally, because the raw
+trace is either unbounded (a long-running service) or too large to hold:
+at 1024 shards the reference DES emits 10^6+ per-message records per
+epoch, and even the batched fastpath's one-span-per-committee stream is
+unbounded across a serve loop.  This module provides that layer:
 
 * :class:`LogHistogram` — a fixed-bin log-histogram quantile sketch
   (DDSketch-style): values land in geometrically-spaced bins so p50/p90/p99
