@@ -1,6 +1,6 @@
 # Canonical workflows for the MVCom reproduction.
 
-.PHONY: install test lint lint-fix bench figures examples storm clean
+.PHONY: install test lint lint-fix bench figures examples storm serve clean
 
 install:
 	pip install -e . || python setup.py develop   # offline envs lack wheel
@@ -34,6 +34,13 @@ storm:
 	REPRO_CONTRACTS=1 PYTHONPATH=src python -m repro.harness.cli storm \
 		--seed 0 --events 200 --committees 40 --gamma 4 --iterations 1200 \
 		--shrink --out storm_reproducer.json
+
+# Steady-state scheduling service: warm-started epoch chaining over the
+# Bitcoin-trace mempool feeder, with live metrics/SLO sinks attached.
+serve:
+	REPRO_CONTRACTS=1 PYTHONPATH=src python -m repro.harness.cli serve \
+		--epochs 8 --committees 60 --gamma 10 --iterations 1500 \
+		--out serve_report.json
 
 clean:
 	rm -rf results/*.csv results/*.json .pytest_cache

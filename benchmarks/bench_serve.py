@@ -1,0 +1,92 @@
+"""Steady-state serve bench: warm-started vs cold per-epoch scheduling.
+
+Runs :func:`repro.harness.serve.run_serve_comparison` — the ``mvcom
+serve`` loop twice over byte-identical drifting committee streams, once
+warm-chained through :class:`SEWarmState` and once with a fresh solver
+per epoch — and asserts the PR's acceptance claim: warm starts reach 99%
+of the per-epoch target utility more than 1.5x faster than cold starts
+at Γ=25 under a drifting population.
+
+The primary speedup is counted in race rounds (machine-independent; the
+recorded artifact reproduces anywhere); wall-clock steady-state numbers
+(solves/s, tx scheduled/s, p50/p99 decision latency) ride along for the
+service-level picture.  The record lands in ``BENCH_serve.json`` at the
+repo root, written by the runner itself (like the eth2scale bench, the
+artifact is the deliverable).
+"""
+
+from pathlib import Path
+
+from repro.harness.serve import ServeConfig, run_serve_comparison
+
+from conftest import emit
+
+#: Repo-root record (next to BENCH_eth2scale.json).
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+#: The acceptance shape: Γ=25 replicas over a drifting 100-committee
+#: population (10% churn/epoch), 8 epochs of the Bitcoin-trace feeder.
+BENCH_CONFIG = ServeConfig(
+    epochs=8,
+    num_committees=100,
+    churn=0.1,
+    gamma=25,
+    max_iterations=2000,
+    convergence_window=400,
+    seed=0,
+)
+
+#: The tentpole claim: warm time-to-99%-utility beats cold by > 1.5x.
+_MIN_WARM_SPEEDUP = 1.5
+
+
+def test_serve_bench(capsys):
+    record = run_serve_comparison(BENCH_CONFIG, out_path=str(BENCH_PATH))
+
+    emit(capsys, "serve bench (warm-started vs cold per-epoch scheduling)")
+    emit(
+        capsys,
+        f"  shape: Gamma={record['gamma']}, {record['num_committees']} committees, "
+        f"churn {record['churn']}, {record['epochs']} epochs",
+    )
+    for row in record["per_epoch"]:
+        emit(
+            capsys,
+            f"  epoch {row['epoch']}: warm {row['warm_rounds_to_99']:5d} rounds, "
+            f"cold {row['cold_rounds_to_99']:5d} rounds to 99% of shared target",
+        )
+    emit(
+        capsys,
+        f"  round speedup {record['warm_speedup_rounds_to_99']:.2f}x, "
+        f"wall speedup {record['warm_speedup_wall_to_99']:.2f}x",
+    )
+    for mode in ("warm", "cold"):
+        report = record[mode]
+        emit(
+            capsys,
+            f"  {mode}: {report['solves_per_s']:.2f} solves/s, "
+            f"{report['tx_scheduled_per_s']:,.0f} tx/s, "
+            f"p50 {report['decision_p50_s']*1e3:.1f} ms, "
+            f"p99 {report['decision_p99_s']*1e3:.1f} ms",
+        )
+
+    assert record["gamma"] == 25, "the acceptance shape pins Gamma=25"
+    assert record["warm_speedup_rounds_to_99"] > _MIN_WARM_SPEEDUP, (
+        f"warm start reached 99% utility only "
+        f"{record['warm_speedup_rounds_to_99']:.2f}x faster than cold; "
+        f"the acceptance floor is {_MIN_WARM_SPEEDUP}x"
+    )
+    for mode in ("warm", "cold"):
+        report = record[mode]
+        assert report["solves_per_s"] > 0.0
+        assert report["decision_p50_s"] > 0.0
+        assert report["decision_p99_s"] >= report["decision_p50_s"]
+        assert not report["slo_violations"], (
+            f"{mode} serve run violated SLOs: {report['slo_violations']}"
+        )
+    # Every epoch after the shared bootstrap saw genuine drift.
+    assert all(
+        row["joined"] > 0 or row["departed"] > 0
+        for row in record["warm"]["rows"][1:]
+    ), "the bench stream must actually drift the population"
+    assert BENCH_PATH.exists()

@@ -81,11 +81,14 @@ import numpy as np
 from repro.core.convergence import ConvergenceDetector
 from repro.core.dynamics import CommitteeEvent, DynamicSchedule
 from repro.core.problem import EpochInstance
+from repro.core.repair import greedy_improve
 from repro.core.se import (
     InfeasibleEpochError,
     SEResult,
+    SEWarmState,
     StochasticExploration,
     _Replica,
+    instances_match,
 )
 from repro.core.solution import Solution
 from repro.core.timers import LOG_DURATION_MAX, LOG_DURATION_MIN
@@ -206,6 +209,7 @@ class _EngineRun:
         instance: EpochInstance,
         schedule: Optional[DynamicSchedule],
         probe: Optional[Callable[..., None]],
+        warm: Optional[SEWarmState] = None,
     ) -> None:
         self.solver = solver
         self.config = solver.config
@@ -214,8 +218,18 @@ class _EngineRun:
         self.instance = instance
         self.schedule = schedule
         self.probe = probe
-        self.streams = RandomStreams(self.config.seed)
-        self.replicas = solver._spawn_replicas(instance, self.streams)
+        if warm is None:
+            self.generation = 0
+            self.streams = RandomStreams(self.config.seed)
+            self.replicas = solver._spawn_replicas(instance, self.streams)
+        else:
+            # Warm start: adopt the carried replicas/streams in place.  The
+            # streams registry's cached generators make every named stream
+            # (init, leave, vectorized-race) *continue* across the handoff.
+            self.generation = warm.generation
+            self.streams = warm.streams
+            self.warm_stats = solver._adopt_replicas(warm, instance)
+            self.replicas = warm.replicas
         if not any(thread.active for replica in self.replicas for thread in replica.threads):
             raise InfeasibleEpochError(
                 "no feasible solution at any thread cardinality; capacity too small"
@@ -224,20 +238,59 @@ class _EngineRun:
             schedule.reset()
         if self.traced:
             cardinalities = [t.cardinality for t in self.replicas[0].threads]
-            self.telemetry.event(
-                "se.bootstrap",
-                replicas=len(self.replicas),
-                solution_threads=len(cardinalities),
-                n_lo=min(cardinalities),
-                n_hi=max(cardinalities),
-                num_shards=instance.num_shards,
-                capacity=instance.capacity,
-            )
+            if warm is None:
+                self.telemetry.event(
+                    "se.bootstrap",
+                    replicas=len(self.replicas),
+                    solution_threads=len(cardinalities),
+                    n_lo=min(cardinalities),
+                    n_hi=max(cardinalities),
+                    num_shards=instance.num_shards,
+                    capacity=instance.capacity,
+                )
+            else:
+                self.telemetry.event(
+                    "se.warm_start",
+                    replicas=len(self.replicas),
+                    solution_threads=len(cardinalities),
+                    generation=self.generation,
+                    num_shards=instance.num_shards,
+                    **self.warm_stats,
+                )
         self.detector = ConvergenceDetector(
             window=self.config.convergence_window, tolerance=self.config.tolerance
         )
-        best = solver._best_current(self.replicas)
-        self.best = solver._maybe_full_solution(instance, best)
+        if warm is None:
+            best = solver._best_current(self.replicas)
+            self.best = solver._maybe_full_solution(instance, best)
+        elif self.warm_stats["zero_drift"]:
+            # Continuing the same solve: the incumbent carries verbatim
+            # (it is monotone and already dominates every current
+            # solution), rebound onto the caller's instance object.
+            best = warm.best.copy()
+            best.instance = instance
+            self.best = best
+        else:
+            # The carried incumbent is a *base*, not just a candidate:
+            # after the feasibility rebase, one deterministic greedy pass
+            # (drop drained negative-value members, refill the freed Ĉ
+            # slack with the drifted instance's winners) turns it into a
+            # real head start instead of a collapsed stale solution.
+            best = solver._rebase_best(warm.best, instance)
+            greedy_improve(instance, best)
+            best = solver._pick_better(best, solver._best_current(self.replicas))
+            self.best = solver._maybe_full_solution(instance, best)
+        if warm is not None and probe is not None:
+            # The epoch boundary is itself an event boundary: arm the same
+            # probe contract the dynamic-event path honours, so storm
+            # invariants hold *across* epochs, not just within one solve.
+            probe(
+                iteration=0,
+                events=[],
+                instance=instance,
+                best=self.best,
+                replicas=self.replicas,
+            )
         self.utility_trace: List[float] = []
         self.current_trace: List[float] = []
         self.time_trace: List[float] = []
@@ -255,7 +308,8 @@ class _EngineRun:
             return
         solver = self.solver
         self.instance = solver._apply_events(
-            self.instance, self.replicas, fired_events, self.streams
+            self.instance, self.replicas, fired_events, self.streams,
+            generation=self.generation,
         )
         self.events_applied.extend(fired_events)
         self.detector.reset()
@@ -350,6 +404,13 @@ class _EngineRun:
             num_replicas=len(self.replicas),
             events_applied=self.events_applied,
             final_instance=self.instance,
+            warm_state=SEWarmState(
+                replicas=self.replicas,
+                streams=self.streams,
+                best=self.best,
+                instance=self.instance,
+                generation=self.generation + 1,
+            ),
         )
 
 
@@ -530,14 +591,15 @@ def _solution_from_log(
 
 def _merge_segment(
     run: _EngineRun, start_iteration: int, segment: int, logs: List[_SegmentLog]
-) -> bool:
+) -> Optional[int]:
     """Replay one segment's worker logs through the serial round tail.
 
     Scans each round's improvement records in replica order with the serial
     strict-``>`` tie-break, so the incumbent, traces and convergence
-    decision come out byte-identical.  Returns True on convergence (the
-    segment's remaining rounds are discarded, as the serial loop would
-    never have executed them).
+    decision come out byte-identical.  Returns the number of rounds
+    actually consumed when convergence fires mid-segment (the segment's
+    remaining rounds are discarded, as the serial loop would never have
+    executed them), else None.
     """
     telemetry = run.telemetry
     traced = run.traced
@@ -570,8 +632,8 @@ def _merge_segment(
         current = max(log.currents[k] for log in logs)
         virtual_time = max(log.virtual_times[k] for log in logs)
         if run.finish_round(iteration, current, virtual_time, transitions):
-            return True
-    return False
+            return k + 1
+    return None
 
 
 def _rebind_instance(replicas: List[_Replica], instance: EpochInstance) -> None:
@@ -609,11 +671,21 @@ def run_parallel(run: _EngineRun) -> SEResult:
             for replica in run.replicas
         ]
         outcomes = [future.result() for future in futures]
+        logs = [log for _, log in outcomes]
+        consumed = _merge_segment(run, iteration, segment, logs)
+        if consumed is not None:
+            # Convergence fired mid-segment.  The worker replicas have
+            # raced the full segment, but the serial loop stops at the
+            # convergence round — re-advance the driver's pre-segment
+            # replicas exactly ``consumed`` rounds so the carried warm
+            # state (thread solutions + RNG end-states) stays
+            # byte-identical to the serial engine's.
+            for replica in run.replicas:
+                for _ in range(consumed):
+                    replica.race_round()
+            break
         run.replicas = [replica for replica, _ in outcomes]
         _rebind_instance(run.replicas, run.instance)
-        logs = [log for _, log in outcomes]
-        if _merge_segment(run, iteration, segment, logs):
-            break
         iteration += segment
     return run.result()
 
@@ -1002,6 +1074,7 @@ def run_engine(
     instance: EpochInstance,
     schedule: Optional[DynamicSchedule] = None,
     probe: Optional[Callable[..., None]] = None,
+    warm: Optional[SEWarmState] = None,
 ) -> SEResult:
     """Run one SE solve on the engine named by ``solver.config.engine``.
 
@@ -1013,8 +1086,19 @@ def run_engine(
     scalar-vs-batched split; ``cpu_count`` only arbitrates within the
     byte-identical scalar family) and logs the decision as an
     ``engine.auto`` telemetry event.
+
+    ``warm`` adopts a prior run's replicas/streams/incumbent before the
+    race starts (see :meth:`StochasticExploration.solve`).  All three
+    engine families accept warm state: the scalar loops continue the
+    carried thread streams, and the batched kernel rebuilds its flat row
+    space from the adopted threads so warm rows enter *pre-scored* (their
+    incremental utility/weight caches transfer verbatim) while the
+    ``vectorized-race`` streams resume mid-sequence.  ``"auto"``
+    re-evaluates its split on the *adopted* population each solve, so the
+    scalar-vs-batched choice tracks the committee count as it drifts
+    across epochs.
     """
-    run = _EngineRun(solver, instance, schedule, probe)
+    run = _EngineRun(solver, instance, schedule, probe, warm=warm)
     engine = solver.config.engine
     if engine == AUTO_ENGINE:
         racing = count_racing_threads(run.replicas[0])

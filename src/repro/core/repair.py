@@ -80,3 +80,117 @@ def repair_feasibility(instance: EpochInstance, solution: Solution) -> None:
     """
     repair_capacity(instance, solution)
     repair_cardinality(instance, solution)
+
+
+def greedy_improve(instance: EpochInstance, solution: Solution) -> None:
+    """One deterministic local-improvement pass in place (feasible → feasible).
+
+    Used when a *carried* incumbent is rebased onto a drifted epoch
+    instance (warm starts): the old membership is a base worth keeping,
+    but the instance's values have moved under it.  Two monotone phases,
+    each strictly utility-improving:
+
+    1. drop every negative-value member, most negative first, while
+       const. (3) ``count > N_min`` holds (dropping also frees Ĉ slack);
+    2. add unselected positive-value shards, best value first, whenever
+       the remaining slack fits them (const. 4).
+
+    Draws no randomness and never worsens the solution, so applying it to
+    a warm incumbent cannot break the feasibility contract — it just turns
+    carried knowledge into an actual head start.
+    """
+    values = instance.values
+    tx_counts = instance.tx_counts
+    selected = solution.selected_positions()
+    negative = selected[values[selected] < 0]
+    for position in negative[np.argsort(values[negative])]:
+        if solution.count <= instance.n_min:
+            break
+        solution.flip(int(position))
+    unselected = solution.unselected_positions()
+    gains = unselected[values[unselected] > 0]
+    for position in gains[np.argsort(-values[gains])]:
+        if int(tx_counts[position]) <= instance.capacity - solution.weight:
+            solution.flip(int(position))
+
+
+def resize_to_cardinality(
+    instance: EpochInstance, solution: Solution, cardinality: int
+) -> bool:
+    """Coerce ``solution`` to exactly ``cardinality`` members, under Ĉ.
+
+    The repair a warm-started solution thread :math:`f_n` needs when
+    committee churn broke its exact-``n`` family shape: departed members
+    leave the rebased count short (or a shrunken range leaves it long).
+    Trims the lowest-value members while over; pads with the best-value
+    fitting outsider while short, falling back to weight-reducing swaps
+    (heaviest member for lightest outsider) when nothing fits; finishes
+    with the same swap loop until const. (4) holds.  Returns ``True`` on
+    success — the caller keeps the repaired carried solution — and
+    ``False`` when the target shape is unreachable, in which case the
+    solution should be discarded and re-initialised instead.
+    """
+    values = instance.values
+    tx_counts = instance.tx_counts
+    while solution.count > cardinality:
+        selected = solution.selected_positions()
+        solution.flip(int(selected[np.argmin(values[selected])]))
+    while solution.count < cardinality:
+        unselected = solution.unselected_positions()
+        if not len(unselected):
+            return False
+        slack = instance.capacity - solution.weight
+        fitting = unselected[tx_counts[unselected] <= slack]
+        if len(fitting):
+            solution.flip(int(fitting[np.argmax(values[fitting])]))
+            continue
+        selected = solution.selected_positions()
+        if not len(selected):
+            return False
+        heaviest = int(selected[np.argmax(tx_counts[selected])])
+        lightest = int(unselected[np.argmin(tx_counts[unselected])])
+        if int(tx_counts[lightest]) >= int(tx_counts[heaviest]):
+            return False
+        solution.swap(heaviest, lightest)
+    while not solution.capacity_feasible:
+        selected = solution.selected_positions()
+        unselected = solution.unselected_positions()
+        if not len(selected) or not len(unselected):
+            return False
+        heaviest = int(selected[np.argmax(tx_counts[selected])])
+        lighter = unselected[tx_counts[unselected] < int(tx_counts[heaviest])]
+        if not len(lighter):
+            return False
+        solution.swap(heaviest, int(lighter[np.argmax(values[lighter])]))
+    return True
+
+
+def greedy_swap_improve(
+    instance: EpochInstance, solution: Solution, max_swaps: int = 4
+) -> None:
+    """Cardinality-preserving improving swaps in place (at most ``max_swaps``).
+
+    The fixed-cardinality counterpart of :func:`greedy_improve`, for
+    retained solution threads :math:`f_n` whose cardinality contract must
+    survive a warm-start rebase: repeatedly swap the lowest-value member
+    for the best-value outsider that fits the freed capacity, stopping at
+    the first non-improving exchange.  ``max_swaps`` is deliberately small
+    — the pass re-anchors a stale thread to the drifted instance without
+    collapsing the Γ replicas' population diversity onto one greedy point.
+    """
+    values = instance.values
+    tx_counts = instance.tx_counts
+    for _ in range(max_swaps):
+        selected = solution.selected_positions()
+        unselected = solution.unselected_positions()
+        if not len(selected) or not len(unselected):
+            return
+        worst = int(selected[np.argmin(values[selected])])
+        slack = instance.capacity - solution.weight + int(tx_counts[worst])
+        fitting = unselected[tx_counts[unselected] <= slack]
+        if not len(fitting):
+            return
+        best = int(fitting[np.argmax(values[fitting])])
+        if values[best] <= values[worst]:
+            return
+        solution.swap(worst, best)

@@ -43,7 +43,11 @@ import numpy as np
 
 from repro.core.dynamics import CommitteeEvent, DynamicSchedule, EventKind
 from repro.core.problem import DEFAULT_BETA, DEFAULT_TAU, EpochInstance
-from repro.core.repair import repair_feasibility
+from repro.core.repair import (
+    greedy_swap_improve,
+    repair_feasibility,
+    resize_to_cardinality,
+)
 from repro.core.solution import Solution
 from repro.core.timers import clamped_exp
 from repro.analysis.contracts import feasible_result
@@ -138,11 +142,38 @@ class SEResult:
     num_replicas: int = 1
     events_applied: List[CommitteeEvent] = field(default_factory=list)
     final_instance: Optional[EpochInstance] = None
+    warm_state: Optional["SEWarmState"] = None
 
     @property
     def valuable_degree_inputs(self) -> tuple:
         """(mask, instance) pair for metrics; instance reflects final dynamics."""
         return self.best_mask, self.final_instance
+
+
+@dataclass
+class SEWarmState:
+    """Carryable solver state: everything epoch *e+1* can reuse from epoch *e*.
+
+    ``replicas`` are the live executor replicas with their per-thread
+    solutions and named RNG streams; ``streams`` is the run's
+    :class:`~repro.sim.rng.RandomStreams` registry, whose cached generators
+    *continue* (init/leave/vectorized-race streams resume mid-sequence
+    rather than restarting); ``best`` is the incumbent λ and ``instance``
+    the epoch it was scored against.  ``generation`` counts warm handoffs
+    and namespaces the streams of threads spawned after the first epoch, so
+    cross-epoch spawns never correlate.
+
+    A warm state is *consumed* by ``solve(warm=...)``: the adopting run
+    re-seats these replica objects in place and races them, so reusing one
+    warm state for two solves is undefined.  Chain linearly — each result's
+    ``warm_state`` seeds exactly the next solve (the serve loop's usage).
+    """
+
+    replicas: List["_Replica"]
+    streams: RandomStreams
+    best: Solution
+    instance: EpochInstance
+    generation: int = 1
 
 
 class _ThreadRng:
@@ -402,6 +433,29 @@ class _Replica:
         return best
 
 
+def instances_match(a: EpochInstance, b: EpochInstance) -> bool:
+    """True when two instances are interchangeable for a warm start.
+
+    Value equality over everything a thread's cached scores depend on:
+    membership (ids *and* positions), tx counts, latencies, the DDL (hence
+    ages/values) and the constraint parameters.  Used to pick the
+    cache-verbatim zero-drift adoption path, so it must be exact — a single
+    changed value forces the re-score path.
+    """
+    return (
+        a is b
+        or (
+            a.shard_ids == b.shard_ids
+            and a.capacity == b.capacity
+            and a.n_min == b.n_min
+            and a.ddl == b.ddl
+            and a.config.alpha == b.config.alpha
+            and np.array_equal(a.tx_counts, b.tx_counts)
+            and np.array_equal(a.latencies, b.latencies)
+        )
+    )
+
+
 def should_bootstrap(instance: EpochInstance) -> bool:
     """Alg. 1 line 1's trigger condition.
 
@@ -444,12 +498,25 @@ class StochasticExploration:
         instance: EpochInstance,
         schedule: Optional[DynamicSchedule] = None,
         probe: Optional[Callable[..., None]] = None,
+        warm: Optional[object] = None,
     ) -> SEResult:
         """Run SE on one epoch, optionally with a dynamic event schedule.
 
         The returned best solution satisfies const. (3) ``count >= N_min``
         and const. (4) ``weight <= Ĉ`` with a finite utility; set
         ``REPRO_CONTRACTS=1`` to assert this at the boundary.
+
+        ``warm`` seeds the run from a prior epoch: pass the previous
+        :class:`SEResult` (its ``warm_state``) or an :class:`SEWarmState`
+        directly.  Instead of re-bootstrapping the Γ replicas from scratch,
+        the run adopts the carried thread population — retained committees
+        are re-scored against the new instance, only invalidated threads
+        (departed member, or the re-valued weight busting Ĉ) re-seat from
+        the continued init streams, and the incumbent is rebased and
+        repaired via :mod:`repro.core.repair`.  With zero drift (an
+        unchanged instance) adoption is cache-verbatim, so a warm scalar
+        solve is byte-identical to continuing the same solve.  Warm states
+        are consumed; chain them linearly (see :class:`SEWarmState`).
 
         ``probe``, when given, is invoked at every dynamic-event boundary —
         after the events are applied, the replicas re-seated and the
@@ -467,7 +534,13 @@ class StochasticExploration:
         """
         from repro.core import engine as engine_module  # deferred: engine imports se
 
-        return engine_module.run_engine(self, instance, schedule, probe)
+        if isinstance(warm, SEResult):
+            warm = warm.warm_state
+        if warm is not None and not isinstance(warm, SEWarmState):
+            raise TypeError(
+                f"warm must be an SEResult or SEWarmState, got {type(warm).__name__}"
+            )
+        return engine_module.run_engine(self, instance, schedule, probe, warm=warm)
 
     # -------------------------------------------------------------- #
     # internals
@@ -505,6 +578,97 @@ class StochasticExploration:
                 threads.append(thread)
             replicas.append(_Replica(replica_id, threads))
         return replicas
+
+    def _adopt_replicas(
+        self, warm: SEWarmState, instance: EpochInstance
+    ) -> dict:
+        """Re-seat a prior run's replicas onto ``instance`` (warm start).
+
+        The generalisation of :meth:`_apply_events`'s join/leave re-seating
+        to "the whole population drifted": every retained thread's solution
+        is *re-scored* by rebasing it onto the new instance (shard ids are
+        stable across epochs; tx counts, latencies, the DDL and therefore
+        every value may all have changed), and only *invalidated* threads —
+        a selected committee departed (cardinality broke const. 3's exact-n
+        family shape) or the re-valued weight busted Ĉ (const. 4) —
+        re-initialise, drawing from the replica's *continued* init stream.
+        The feasible cardinality range is recomputed for the new instance;
+        threads whose cardinality fell out of range are dropped and missing
+        cardinalities spawn with generation-namespaced streams so the
+        Mersenne sequences of different epochs' spawns never coincide.
+
+        With zero drift (a value-equal instance) adoption is cache-verbatim:
+        solutions keep their incrementally-maintained utility/weight caches
+        (recomputing from the mask can differ in the last bit), which is
+        what makes a warm scalar solve byte-identical to continuing the
+        same solve.  Mutates ``warm.replicas`` in place; returns re-seat
+        stats for the ``se.warm_start`` event.
+        """
+        replicas = warm.replicas
+        if len(replicas) != self.config.num_threads:
+            raise ValueError(
+                f"warm state carries {len(replicas)} replicas but config.num_threads "
+                f"(Gamma) is {self.config.num_threads}; warm starts cannot resize Gamma"
+            )
+        streams = warm.streams
+        if instances_match(warm.instance, instance):
+            for replica in replicas:
+                for thread in replica.threads:
+                    thread.timer = None
+                    if thread.solution is not None:
+                        # Identity rebind only: the caller's instance is
+                        # value-equal, so every cache stays bit-valid.
+                        thread.solution.instance = instance
+            return {"retained": sum(len(r.threads) for r in replicas),
+                    "reseated": 0, "spawned": 0, "zero_drift": True}
+        cardinalities = self.thread_cardinalities(instance)
+        retained = reseated = spawned = 0
+        for replica in replicas:
+            replica_id = replica.replica_id
+            # The init stream continues across epochs, exactly as it does
+            # across dynamic events within one solve (see _apply_events).
+            # repro: ignore[MV101]
+            init_rng = streams.get(f"replica-{replica_id}-init")
+            existing = {thread.cardinality: thread for thread in replica.threads}
+            threads = []
+            for cardinality in cardinalities:
+                thread = existing.pop(cardinality, None)
+                if thread is None:
+                    rng = _ThreadRng(
+                        streams.seed,
+                        f"replica-{replica_id}-gen{warm.generation}-n{cardinality}",
+                    )
+                    thread = _SolutionThread(
+                        cardinality=cardinality, thread_rng=rng, config=self.config
+                    )
+                    thread.initialize(instance, init_rng)
+                    spawned += 1
+                else:
+                    rebased = (
+                        thread.solution.rebase(instance)
+                        if thread.solution is not None
+                        else None
+                    )
+                    if rebased is not None and resize_to_cardinality(
+                        instance, rebased, cardinality
+                    ):
+                        # Departed members are padded back deterministically
+                        # (resize) and the stale membership re-anchored with
+                        # a few cardinality-preserving improving swaps; each
+                        # thread keeps its own carried base, so the
+                        # population keeps its diversity.
+                        greedy_swap_improve(instance, rebased)
+                        thread.set_solution(rebased)  # re-scored, still valid
+                        retained += 1
+                    else:
+                        thread.initialize(instance, init_rng)
+                        reseated += 1
+                thread.timer = None
+                threads.append(thread)
+            replica.threads = threads
+            replica.recompute_current()
+        return {"retained": retained, "reseated": reseated, "spawned": spawned,
+                "zero_drift": False}
 
     @staticmethod
     def _best_current(replicas: Sequence[_Replica]) -> Solution:
@@ -559,8 +723,16 @@ class StochasticExploration:
         replicas: Sequence[_Replica],
         events: Sequence[CommitteeEvent],
         streams: RandomStreams,
+        generation: int = 0,
     ) -> EpochInstance:
-        """Alg. 1 lines 9-12: update ``I_j`` and re-seat every solution."""
+        """Alg. 1 lines 9-12: update ``I_j`` and re-seat every solution.
+
+        ``generation`` namespaces the streams of threads spawned mid-run:
+        generation 0 (a cold solve) keeps the original ``dyn`` names, so
+        pre-warm trajectories replay byte-identically; warm runs
+        (generation >= 1) prefix theirs so a cardinality that disappears
+        and reappears across epochs never re-reads the same sequence.
+        """
         for event in events:
             if event.kind is EventKind.LEAVE:
                 instance = self._apply_leave(instance, replicas, event, streams)
@@ -581,7 +753,12 @@ class StochasticExploration:
             for cardinality in cardinalities:
                 thread = existing.pop(cardinality, None)
                 if thread is None:
-                    rng = _ThreadRng(streams.seed, f"replica-{replica_id}-dyn-n{cardinality}")
+                    stream_name = (
+                        f"replica-{replica_id}-dyn-n{cardinality}"
+                        if generation == 0
+                        else f"replica-{replica_id}-gen{generation}-dyn-n{cardinality}"
+                    )
+                    rng = _ThreadRng(streams.seed, stream_name)
                     thread = _SolutionThread(cardinality=cardinality, thread_rng=rng, config=self.config)
                     thread.initialize(instance, init_rng)
                     spawned += 1

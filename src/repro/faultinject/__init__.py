@@ -37,11 +37,29 @@ from repro.faultinject.runner import (
     shrink_storm,
     storm_workload_config,
 )
+from repro.faultinject.serve import (
+    SERVE_REPRODUCER_FORMAT,
+    ServeStormConfig,
+    ServeStormOutcome,
+    load_serve_reproducer,
+    make_serve_reproducer,
+    replay_serve_reproducer,
+    run_serve_storm,
+    save_serve_reproducer,
+)
 from repro.faultinject.shrink import shrink_events
 from repro.faultinject.storm import StormConfig, generate_storm
 
 __all__ = [
     "DEFAULT_ARMED",
+    "SERVE_REPRODUCER_FORMAT",
+    "ServeStormConfig",
+    "ServeStormOutcome",
+    "load_serve_reproducer",
+    "make_serve_reproducer",
+    "replay_serve_reproducer",
+    "run_serve_storm",
+    "save_serve_reproducer",
     "DEFAULT_INVARIANTS",
     "KNOWN_INVARIANTS",
     "REPRODUCER_FORMAT",

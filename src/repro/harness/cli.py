@@ -272,9 +272,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(RUNNERS)
-        + ["all", "eth2scale", "list", "lint", "solve", "storm", "trace"],
+        + ["all", "eth2scale", "list", "lint", "serve", "solve", "storm", "trace"],
         help="figure to run, 'lint' for static analysis, 'solve' for a traced "
-        "SE run, 'storm' for churn-storm fault injection, 'eth2scale' for "
+        "SE run, 'serve' for the warm-started steady-state service loop, "
+        "'storm' for churn-storm fault injection, 'eth2scale' for "
         "the chunked-kernel scaling bench, or 'trace summary PATH' to "
         "inspect a trace file",
     )
@@ -326,8 +327,25 @@ def main(argv=None) -> int:
                         help="solve/trace: rows per summary table (default 10)")
     parser.add_argument("--events", type=int, default=200,
                         help="storm: number of churn events to generate (default 200)")
-    parser.add_argument("--epochs", type=int, default=1,
-                        help="storm: drive the multi-epoch chain loop with this many epochs")
+    parser.add_argument("--epochs", type=int, default=None,
+                        help="storm: multi-epoch chain loop epochs (default 1); "
+                        "serve: epochs to serve (default 8)")
+    parser.add_argument("--rate", type=float, default=1.3,
+                        help="serve: trace blocks fed per live committee per "
+                        "epoch (default 1.3)")
+    parser.add_argument("--churn", type=float, default=0.15,
+                        help="serve: fraction of the population replaced per "
+                        "epoch (default 0.15)")
+    parser.add_argument("--growth", type=int, default=0,
+                        help="serve: net committees added (+) or removed (-) "
+                        "per epoch (default 0)")
+    parser.add_argument("--warm", dest="cold", action="store_false",
+                        default=False,
+                        help="serve: warm-start each epoch from the previous "
+                        "solve (the default)")
+    parser.add_argument("--cold", dest="cold", action="store_true",
+                        help="serve: fresh per-epoch solver, byte-identical "
+                        "to today's standalone solve() path")
     parser.add_argument("--shrink", action="store_true",
                         help="storm: on violation, shrink to a minimal reproducer")
     parser.add_argument("--strict", action="store_true",
@@ -393,6 +411,13 @@ def main(argv=None) -> int:
         from repro.harness.storms import run_storm_cli
 
         return run_storm_cli(args)
+
+    if args.experiment == "serve":
+        if args.paths:
+            parser.error(f"unexpected positional arguments for 'serve': {args.paths}")
+        from repro.harness.serve import run_serve_cli
+
+        return run_serve_cli(args)
 
     if args.experiment == "eth2scale":
         if args.paths:

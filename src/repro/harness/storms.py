@@ -44,7 +44,7 @@ def config_from_args(args) -> StormConfig:
         gamma=args.gamma,
         max_iterations=args.iterations,
         convergence_window=max(args.iterations // 4, 50),
-        epochs=args.epochs,
+        epochs=args.epochs if args.epochs is not None else 1,
     )
 
 

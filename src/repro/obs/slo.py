@@ -41,6 +41,11 @@ from repro.obs.telemetry import NULL_TELEMETRY, NullTelemetry
 #: pyproject table holding the SLO specs.
 SLO_SECTION = ("tool", "repro", "obs", "slo")
 
+# Events that mark the start of a fresh SE solve on a shared hub; monotone
+# SLO baselines reset here so per-solve invariants don't alias across the
+# serve loop's epochs.
+SOLVE_BOUNDARY_EVENTS = frozenset({"se.bootstrap", "se.warm_start"})
+
 #: The three supported check kinds.
 SLO_KINDS = ("max_p99", "max_rate", "monotone_budget")
 
@@ -158,6 +163,11 @@ class SloTracker:
             return  # our own slo.violation echoing back through the hub
         self._records += 1
         name = record.get("name")
+        if name in SOLVE_BOUNDARY_EVENTS:
+            # A new solve began (the serve loop runs many per process):
+            # monotone invariants hold *within* one solve, so the
+            # baselines restart rather than comparing across epochs.
+            self._monotone_last.clear()
         for spec in self.specs:
             if spec.kind == "monotone_budget" and spec.metric == name:
                 self._track_monotone(spec, record)
